@@ -1,0 +1,21 @@
+"""Benchmark-suite plumbing: dump reproduction tables after the run.
+
+pytest captures stdout of passing tests, so the per-figure tables are
+also echoed in the terminal summary (and written under
+``benchmarks/results/``) where they survive capture.
+"""
+
+from __future__ import annotations
+
+import harness
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = harness.collected_reports()
+    if not reports:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for text in reports:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

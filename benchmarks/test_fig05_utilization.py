@@ -1,0 +1,41 @@
+"""Figure 5: theoretical storage-engine utilization rho(m, k).
+
+Pure math (Eq. 4-5): rho(m,k) = 1 - (1 - k/m)^m, decreasing in m,
+asymptotic to 1 - e^-k.  k = 5 keeps utilization above 99.3% at any
+cluster size — the paper's justification for its default batch factor.
+"""
+
+import pytest
+
+from harness import fmt_row, report
+from repro.core.batching import utilization, utilization_limit
+
+MACHINES = [5, 10, 15, 20, 25, 30]
+BATCH_FACTORS = [1, 2, 3, 5]
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_utilization(benchmark):
+    def experiment():
+        return {
+            k: {m: utilization(m, k) for m in MACHINES} for k in BATCH_FACTORS
+        }
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("k\\m", MACHINES)]
+    for k in BATCH_FACTORS:
+        lines.append(fmt_row(f"k={k}", [table[k][m] for m in MACHINES]))
+    lines.append(
+        fmt_row("limit", [utilization_limit(k) for k in BATCH_FACTORS])
+    )
+    report("fig05_utilization", lines)
+
+    for k in BATCH_FACTORS:
+        series = [table[k][m] for m in MACHINES]
+        # Decreasing in m, bounded below by the limit.
+        assert series == sorted(series, reverse=True)
+        assert all(v >= utilization_limit(k) for v in series)
+    # Headline numbers from the paper's discussion.
+    assert utilization_limit(5) > 0.993
+    assert utilization(32, 5) > 0.995

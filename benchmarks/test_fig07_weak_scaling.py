@@ -1,0 +1,54 @@
+"""Figure 7: weak scaling, all ten algorithms, m = 1..32.
+
+Paper: doubling both the graph (RMAT-27 -> RMAT-32) and the machines
+keeps normalized runtime low — on average 1.61x at 32 machines, best
+~0.97x (Cond), worst ~2.29x (MCST).
+
+Reproduction: RMAT-(11+log2 m) on m machines with dimensionally scaled
+hardware.  The reproduced quantities are the normalized-runtime curves.
+"""
+
+import statistics
+
+import pytest
+
+from harness import (
+    ALGORITHM_NAMES,
+    MACHINES,
+    fmt_row,
+    normalized,
+    report,
+    weak_scaling_run,
+)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_weak_scaling(benchmark):
+    def experiment():
+        return {
+            name: {m: weak_scaling_run(name, m).runtime for m in MACHINES}
+            for name in ALGORITHM_NAMES
+        }
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("alg", [f"m={m}" for m in MACHINES])]
+    factors_at_32 = []
+    for name in ALGORITHM_NAMES:
+        series = normalized(runtimes[name])
+        lines.append(fmt_row(name, [series[m] for m in MACHINES]))
+        factors_at_32.append(series[32])
+    mean_factor = statistics.mean(factors_at_32)
+    lines.append("")
+    lines.append(
+        f"mean scaling factor at m=32: {mean_factor:.2f} (paper: 1.61)"
+    )
+    lines.append(
+        f"best: {min(factors_at_32):.2f} (paper: 0.97)   "
+        f"worst: {max(factors_at_32):.2f} (paper: 2.29)"
+    )
+    report("fig07_weak_scaling", lines)
+
+    # Shape: weak scaling stays within a small constant factor.
+    assert mean_factor < 2.5, f"mean weak-scaling factor {mean_factor:.2f}"
+    assert max(factors_at_32) < 4.0

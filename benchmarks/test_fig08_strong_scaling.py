@@ -1,0 +1,52 @@
+"""Figure 8: strong scaling, all ten algorithms, fixed graph, m = 1..32.
+
+Paper: on RMAT-27, 32 machines give ~13x average speedup (best 23x for
+Cond, worst 8x for MCST) — inferior to weak scaling because the fixed
+graph is small relative to the cluster.
+"""
+
+import statistics
+
+import pytest
+
+from harness import (
+    ALGORITHM_NAMES,
+    MACHINES,
+    fmt_row,
+    report,
+    strong_scaling_run,
+)
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_strong_scaling(benchmark):
+    def experiment():
+        return {
+            name: {m: strong_scaling_run(name, m).runtime for m in MACHINES}
+            for name in ALGORITHM_NAMES
+        }
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("alg", [f"m={m}" for m in MACHINES])]
+    speedups_at_32 = []
+    for name in ALGORITHM_NAMES:
+        base = runtimes[name][1]
+        normalized_series = [runtimes[name][m] / base for m in MACHINES]
+        lines.append(fmt_row(name, normalized_series))
+        speedups_at_32.append(base / runtimes[name][32])
+    mean_speedup = statistics.mean(speedups_at_32)
+    lines.append("")
+    lines.append(
+        f"mean speedup at m=32: {mean_speedup:.1f}x (paper: ~13x)   "
+        f"best {max(speedups_at_32):.1f}x (paper 23x)   "
+        f"worst {min(speedups_at_32):.1f}x (paper 8x)"
+    )
+    report("fig08_strong_scaling", lines)
+
+    # Shape: meaningful but sublinear speedup on a fixed small graph.
+    assert mean_speedup > 3.0
+    assert mean_speedup < 32.0
+    for name in ALGORITHM_NAMES:
+        # Monotone improvement from 1 to 32 machines.
+        assert runtimes[name][32] < runtimes[name][1]

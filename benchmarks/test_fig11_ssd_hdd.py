@@ -1,0 +1,66 @@
+"""Figure 11: SSD vs HDD, BFS + PR, m = 1..32.
+
+Paper: HDD bandwidth is half the SSD's; Chaos scales identically on
+both, and runtime is inversely proportional to device bandwidth (HDD
+curves sit ~2x above the SSD curves when normalized to the SSD
+1-machine runtime).
+"""
+
+import math
+
+import pytest
+
+from harness import BASE_SCALE, MACHINES, fmt_row, make_config, report, run_named
+from repro.store.device import HDD_BENCH, SSD_BENCH
+
+DEVICES = [("SSD", SSD_BENCH), ("HDD", HDD_BENCH)]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_ssd_vs_hdd(benchmark):
+    def experiment():
+        results = {}
+        for name in ("BFS", "PR"):
+            for device_name, device in DEVICES:
+                series = {}
+                for machines in MACHINES:
+                    scale = BASE_SCALE + int(math.log2(machines))
+                    config = make_config(machines, scale, device=device)
+                    series[machines] = run_named(name, scale, config).runtime
+                results[(name, device_name)] = series
+        return results
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("curve", [f"m={m}" for m in MACHINES], width=9)]
+    for name in ("BFS", "PR"):
+        base = runtimes[(name, "SSD")][1]
+        for device_name, _device in DEVICES:
+            lines.append(
+                fmt_row(
+                    f"{name} {device_name}",
+                    [runtimes[(name, device_name)][m] / base for m in MACHINES],
+                    width=9,
+                )
+            )
+    report("fig11_ssd_hdd", lines)
+
+    for name in ("BFS", "PR"):
+        # Runtime inversely proportional to bandwidth: HDD ~2x SSD.
+        for machines in MACHINES:
+            ratio = (
+                runtimes[(name, "HDD")][machines]
+                / runtimes[(name, "SSD")][machines]
+            )
+            assert 1.5 < ratio < 2.6, f"{name} m={machines}: {ratio:.2f}"
+        # Scaling shape is bandwidth-independent: normalized curves match.
+        ssd_curve = [
+            runtimes[(name, "SSD")][m] / runtimes[(name, "SSD")][1]
+            for m in MACHINES
+        ]
+        hdd_curve = [
+            runtimes[(name, "HDD")][m] / runtimes[(name, "HDD")][1]
+            for m in MACHINES
+        ]
+        for ssd_point, hdd_point in zip(ssd_curve, hdd_curve):
+            assert abs(ssd_point - hdd_point) < 0.75

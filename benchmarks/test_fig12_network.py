@@ -1,0 +1,60 @@
+"""Figure 12: 40 GigE vs 1 GigE, BFS + PR, m = 1..32.
+
+Paper: on 1 GigE the network throughput is ~1/4 of the disk bandwidth,
+the network becomes the bottleneck, and Chaos stops scaling — runtimes
+blow up with machine count instead of staying flat, "highlighting the
+need for network links which are faster (or at least as fast) as the
+storage bandwidth per machine".
+"""
+
+import math
+
+import pytest
+
+from harness import BASE_SCALE, MACHINES, fmt_row, make_config, report, run_named
+from repro.net.topology import GIGE_1_BENCH, GIGE_40_BENCH
+
+NETWORKS = [("40G", GIGE_40_BENCH), ("1G", GIGE_1_BENCH)]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_network_bottleneck(benchmark):
+    def experiment():
+        results = {}
+        for name in ("BFS", "PR"):
+            for net_name, network in NETWORKS:
+                series = {}
+                for machines in MACHINES:
+                    scale = BASE_SCALE + int(math.log2(machines))
+                    config = make_config(machines, scale, network=network)
+                    series[machines] = run_named(name, scale, config).runtime
+                results[(name, net_name)] = series
+        return results
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("curve", [f"m={m}" for m in MACHINES], width=9)]
+    for name in ("BFS", "PR"):
+        base = runtimes[(name, "40G")][1]
+        for net_name, _network in NETWORKS:
+            lines.append(
+                fmt_row(
+                    f"{name} {net_name}",
+                    [runtimes[(name, net_name)][m] / base for m in MACHINES],
+                    width=9,
+                )
+            )
+    report("fig12_network", lines)
+
+    for name in ("BFS", "PR"):
+        fast32 = runtimes[(name, "40G")][32] / runtimes[(name, "40G")][1]
+        slow32 = runtimes[(name, "1G")][32] / runtimes[(name, "1G")][1]
+        # The slow network destroys weak scaling (paper: ~4-9x curves).
+        assert slow32 > 2.0 * fast32, (
+            f"{name}: 1GigE curve {slow32:.2f} vs 40GigE {fast32:.2f}"
+        )
+        # Single-machine runs barely differ (all I/O is local).
+        one_machine_ratio = (
+            runtimes[(name, "1G")][1] / runtimes[(name, "40G")][1]
+        )
+        assert one_machine_ratio < 1.2

@@ -1,0 +1,57 @@
+"""Figure 13: checkpointing overhead, BFS + PR at m = 32 on HDD.
+
+Paper: two-phase vertex-set checkpoints at every barrier add under 6%
+runtime even for executions writing hundreds of terabytes (RMAT-35).
+
+Reproduction: the overhead bound loosens slightly at benchmark scale
+because vertex state is a larger fraction of total data than at
+RMAT-35; the reproduced shape is "small single-digit-percent overhead".
+"""
+
+import pytest
+
+from harness import BASE_SCALE, fmt_row, make_config, report, run_named
+from repro.store.device import HDD_BENCH
+
+SCALE = BASE_SCALE + 5
+MACHINES_COUNT = 32
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_checkpoint_overhead(benchmark):
+    def experiment():
+        results = {}
+        for name in ("BFS", "PR"):
+            plain = run_named(
+                name,
+                SCALE,
+                make_config(MACHINES_COUNT, SCALE, device=HDD_BENCH),
+            )
+            checkpointed = run_named(
+                name,
+                SCALE,
+                make_config(
+                    MACHINES_COUNT, SCALE, device=HDD_BENCH, checkpointing=True
+                ),
+            )
+            results[name] = (plain.runtime, checkpointed.runtime)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("alg", ["plain", "chkpt", "overhead"], width=10)]
+    for name, (plain, checkpointed) in results.items():
+        overhead = checkpointed / plain - 1.0
+        lines.append(fmt_row(name, [plain, checkpointed, overhead], width=10))
+    lines.append("")
+    lines.append("paper: overhead under 6% (RMAT-35, HDD, m=32)")
+    report("fig13_checkpoint", lines)
+
+    for name, (plain, checkpointed) in results.items():
+        overhead = checkpointed / plain - 1.0
+        # Checkpoint writes overlap with the stragglers' streaming (they
+        # land in otherwise-idle pre-barrier time), so the measured
+        # overhead is near zero and can dip slightly negative from
+        # event-ordering noise; the reproduced claim is "small".
+        assert overhead > -0.03
+        assert overhead < 0.20, f"{name}: checkpoint overhead {overhead:.1%}"

@@ -1,0 +1,70 @@
+"""Figure 15: Chaos vs a centralized chunk directory, BFS + PR.
+
+Paper: replacing randomized chunk selection with a central meta-data
+server that every read/write must consult makes runtime grow much
+faster with machine count — the directory "increasingly becomes a
+bottleneck" (weak scaling, RMAT-27 -> 32).
+"""
+
+import math
+
+import pytest
+
+from harness import BASE_SCALE, MACHINES, fmt_row, make_config, report, run_named
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_centralized_directory(benchmark):
+    def experiment():
+        results = {}
+        for name in ("BFS", "PR"):
+            for placement in ("random", "centralized"):
+                series = {}
+                for machines in MACHINES:
+                    scale = BASE_SCALE + int(math.log2(machines))
+                    # Directory rate scaled with the benchmark's small
+                    # chunks (paper-equivalent ~150 us/lookup against
+                    # 4 MB chunks becomes ~0.67 us against 4 kB chunks).
+                    config = make_config(
+                        machines,
+                        scale,
+                        placement=placement,
+                        directory_lookups_per_second=1.5e6,
+                    )
+                    series[machines] = run_named(name, scale, config).runtime
+                results[(name, placement)] = series
+        return results
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("curve", [f"m={m}" for m in MACHINES], width=12)]
+    for name in ("BFS", "PR"):
+        base = runtimes[(name, "random")][1]
+        lines.append(
+            fmt_row(
+                f"{name}",
+                [runtimes[(name, "random")][m] / base for m in MACHINES],
+                width=12,
+            )
+        )
+        lines.append(
+            fmt_row(
+                f"{name} Centr",
+                [runtimes[(name, "centralized")][m] / base for m in MACHINES],
+                width=12,
+            )
+        )
+    report("fig15_centralized", lines)
+
+    for name in ("BFS", "PR"):
+        random32 = (
+            runtimes[(name, "random")][32] / runtimes[(name, "random")][1]
+        )
+        central32 = (
+            runtimes[(name, "centralized")][32]
+            / runtimes[(name, "centralized")][1]
+        )
+        # The centralized design's curve grows distinctly faster.
+        assert central32 > 1.3 * random32, (
+            f"{name}: centralized {central32:.2f} vs random {random32:.2f}"
+        )

@@ -1,0 +1,60 @@
+"""Figure 16: runtime as a function of the request window phi*k, m = 32.
+
+Paper: on the measured hardware phi = 2 (SSD latency equals the 40 GigE
+round trip), so the theory (k = 5 for >= 99.3% utilization at any
+cluster size) predicts a sweet spot at phi*k = 10 — exactly where the
+measured curve bottoms out; smaller windows leave storage engines idle,
+larger ones add queueing.
+
+Reproduction: window sweep at m = 32; the reproduced shape is the steep
+improvement up to the theoretical window and the flat/slightly rising
+tail beyond it.
+"""
+
+import pytest
+
+from harness import ALGORITHM_NAMES, BASE_SCALE, fmt_row, make_config, report, run_named
+
+WINDOWS = [1, 2, 3, 5, 10, 16, 32]
+SCALE = BASE_SCALE + 2
+MACHINES_COUNT = 32
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_batch_factor(benchmark):
+    def experiment():
+        results = {}
+        for name in ALGORITHM_NAMES:
+            series = {}
+            for window in WINDOWS:
+                config = make_config(
+                    MACHINES_COUNT, SCALE, request_window_override=window
+                )
+                series[window] = run_named(name, SCALE, config).runtime
+            results[name] = series
+        return results
+
+    runtimes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("alg", [f"w={w}" for w in WINDOWS], width=8)]
+    for name in ALGORITHM_NAMES:
+        reference = runtimes[name][10]  # normalize to the paper's choice
+        lines.append(
+            fmt_row(name, [runtimes[name][w] / reference for w in WINDOWS])
+        )
+    report("fig16_batch_factor", lines)
+
+    for name in ALGORITHM_NAMES:
+        series = runtimes[name]
+        # Tiny windows starve the storage engines.
+        assert series[1] > 1.15 * series[10], (
+            f"{name}: window 1 should be much slower than window 10"
+        )
+        # Beyond the sweet spot the curve is flat-ish (no cliff).  The
+        # paper measured a mild *rise* past phi*k=10 from queueing and
+        # incast; the lossless switch model instead stays flat or gains
+        # a few percent, so the reproduced claim is "the theoretical
+        # window captures nearly all of the benefit".
+        assert series[32] < 1.4 * series[10]
+        best = min(series.values())
+        assert series[10] < 1.25 * best

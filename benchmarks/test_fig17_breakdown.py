@@ -1,0 +1,51 @@
+"""Figure 17: runtime breakdown at m = 32 (weak scaling top end).
+
+Paper: graph processing is 74-87% of runtime (83% average, split into
+own-partition and stolen-partition work), idle time below 4%, and
+copy/merge overhead 0-22% (14% average) — dynamic load balancing works
+but is not free.
+
+Reproduction: per-engine time attribution from the same weak-scaling
+runs; the reproduced shape is "graph processing dominates, idle small,
+copy/merge visible".  (Benchmark-scale phases are shorter, so barrier
+tails are somewhat larger than the paper's 4%.)
+"""
+
+import pytest
+
+from harness import ALGORITHM_NAMES, fmt_row, report, weak_scaling_run
+from repro.core.metrics import BREAKDOWN_CATEGORIES
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_runtime_breakdown(benchmark):
+    def experiment():
+        return {
+            name: weak_scaling_run(name, 32).total_breakdown().fractions()
+            for name in ALGORITHM_NAMES
+        }
+
+    fractions = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("alg", list(BREAKDOWN_CATEGORIES), width=11)]
+    for name in ALGORITHM_NAMES:
+        lines.append(
+            fmt_row(
+                name,
+                [fractions[name][c] for c in BREAKDOWN_CATEGORIES],
+                width=11,
+            )
+        )
+    lines.append("")
+    lines.append(
+        "paper: gp 74-87% (avg 83), idle <4%, copy+merge 0-22% (avg 14)"
+    )
+    report("fig17_breakdown", lines)
+
+    for name in ALGORITHM_NAMES:
+        f = fractions[name]
+        graph_processing = f["gp_master"] + f["gp_stolen"]
+        overhead = f["copy"] + f["merge"] + f["merge_wait"]
+        assert graph_processing > 0.45, f"{name}: gp only {graph_processing:.0%}"
+        assert overhead < 0.45, f"{name}: overhead {overhead:.0%}"
+        assert f["barrier"] < 0.40, f"{name}: barrier idle {f['barrier']:.0%}"

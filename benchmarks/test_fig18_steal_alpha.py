@@ -1,0 +1,70 @@
+"""Figure 18: the work-stealing bias sweep, BFS + PR at m = 32.
+
+Paper: alpha = 1 (the criterion of Section 5.4) gives the best runtime;
+alpha = 0 (no stealing) suffers load imbalance (idle time at barriers),
+alpha = inf (always steal) wastes time loading vertex sets for
+partitions that are nearly done.
+"""
+
+import math
+
+import pytest
+
+from harness import BASE_SCALE, fmt_row, make_config, report, run_named
+
+ALPHAS = [0.0, 0.8, 1.0, 1.2, math.inf]
+SCALE = BASE_SCALE + 5
+MACHINES_COUNT = 32
+
+
+def _label(alpha: float) -> str:
+    return "inf" if math.isinf(alpha) else f"{alpha:g}"
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_steal_bias(benchmark):
+    def experiment():
+        results = {}
+        for name in ("BFS", "PR"):
+            for alpha in ALPHAS:
+                config = make_config(MACHINES_COUNT, SCALE, steal_alpha=alpha)
+                results[(name, alpha)] = run_named(name, SCALE, config)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        fmt_row("curve", ["runtime", "norm", "steals", "barrier%"], width=10)
+    ]
+    for name in ("BFS", "PR"):
+        reference = results[(name, 1.0)].runtime
+        for alpha in ALPHAS:
+            result = results[(name, alpha)]
+            barrier = result.total_breakdown().fractions()["barrier"]
+            lines.append(
+                fmt_row(
+                    f"{name} a={_label(alpha)}",
+                    [
+                        result.runtime,
+                        result.runtime / reference,
+                        result.steals_accepted,
+                        barrier * 100,
+                    ],
+                    width=10,
+                )
+            )
+    lines.append("")
+    lines.append("paper: alpha=1 best; alpha=0 idles at barriers; "
+                 "alpha=inf pays useless vertex-set loads")
+    report("fig18_steal_alpha", lines)
+
+    for name in ("BFS", "PR"):
+        default = results[(name, 1.0)].runtime
+        never = results[(name, 0.0)].runtime
+        always = results[(name, math.inf)].runtime
+        assert default <= never * 1.02, f"{name}: alpha=1 not better than 0"
+        assert default <= always * 1.02, f"{name}: alpha=1 not better than inf"
+        # No stealing shows more barrier idle time than the default.
+        idle_never = results[(name, 0.0)].total_breakdown().fractions()["barrier"]
+        idle_default = results[(name, 1.0)].total_breakdown().fractions()["barrier"]
+        assert idle_never > idle_default

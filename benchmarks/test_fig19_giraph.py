@@ -1,0 +1,67 @@
+"""Figure 19: Chaos vs out-of-core Giraph, PageRank, normalized to each
+system's own single-machine runtime.
+
+Paper: Giraph is an order of magnitude slower in absolute terms (JVM /
+engineering overheads) and — the figure's point — its static random
+vertex partitioning scales far worse than Chaos' dynamic load balancing
+even after normalizing the constant factors away.
+"""
+
+import math
+
+import pytest
+
+import harness
+from harness import BASE_SCALE, MACHINES, fmt_row, make_config, report
+from repro.algorithms import PageRank
+from repro.baselines import run_giraph
+from repro.core.runtime import run_algorithm
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_chaos_vs_giraph(benchmark):
+    scale = BASE_SCALE + 3
+    graph = harness.directed_graph(scale)
+
+    def experiment():
+        chaos = {}
+        giraph = {}
+        for machines in MACHINES:
+            chaos[machines] = run_algorithm(
+                PageRank(iterations=5), graph, make_config(machines, scale)
+            ).runtime
+            # Superstep coordination cost scaled with the benchmark's
+            # graph size (the same dimensional-scaling rule as the
+            # hardware latencies).
+            giraph[machines] = run_giraph(
+                PageRank(iterations=5),
+                graph,
+                machines=machines,
+                superstep_overhead=0.05,
+            ).runtime
+        return chaos, giraph
+
+    chaos, giraph = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [fmt_row("system", [f"m={m}" for m in MACHINES], width=9)]
+    lines.append(
+        fmt_row("Chaos", [chaos[m] / chaos[1] for m in MACHINES], width=9)
+    )
+    lines.append(
+        fmt_row("Giraph", [giraph[m] / giraph[1] for m in MACHINES], width=9)
+    )
+    lines.append("")
+    lines.append(
+        f"absolute slowdown Giraph/Chaos at m=1: {giraph[1] / chaos[1]:.1f}x "
+        "(paper: order of magnitude)"
+    )
+    report("fig19_giraph", lines)
+
+    # Giraph is dramatically slower in absolute terms ...
+    assert giraph[1] > 4 * chaos[1]
+    # ... and scales worse even normalized to itself.
+    chaos_speedup = chaos[1] / chaos[32]
+    giraph_speedup = giraph[1] / giraph[32]
+    assert chaos_speedup > 1.5 * giraph_speedup, (
+        f"Chaos speedup {chaos_speedup:.1f}x vs Giraph {giraph_speedup:.1f}x"
+    )

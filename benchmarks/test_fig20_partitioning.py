@@ -1,0 +1,58 @@
+"""Figure 20: dynamic rebalancing cost vs PowerGraph grid partitioning.
+
+Paper: for every algorithm, the worst per-machine time Chaos spends on
+dynamic load balancing is at most ~a fifth (mostly under a tenth) of
+the time PowerGraph's in-memory grid partitioner would need to
+partition the same graph — upfront partitioning is not worth it.
+"""
+
+import pytest
+
+from harness import (
+    ALGORITHM_NAMES,
+    BASE_SCALE,
+    fmt_row,
+    report,
+    strong_scaling_run,
+)
+from repro.baselines import grid_partition, partitioning_time
+from repro.baselines.powergraph import rebalance_time
+import harness
+
+MACHINES_COUNT = 32
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_rebalance_vs_partitioning(benchmark):
+    scale = BASE_SCALE + 3
+    graph = harness.directed_graph(scale)
+
+    def experiment():
+        ratios = {}
+        upfront = partitioning_time(graph.num_edges, MACHINES_COUNT)
+        for name in ALGORITHM_NAMES:
+            result = strong_scaling_run(name, MACHINES_COUNT)
+            ratios[name] = rebalance_time(result) / upfront
+        return ratios, upfront
+
+    ratios, upfront = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Also exercise the real grid partitioner for its quality metrics.
+    grid = grid_partition(graph, MACHINES_COUNT)
+
+    lines = [fmt_row("alg", ["rebal/part"], width=12)]
+    for name in ALGORITHM_NAMES:
+        lines.append(fmt_row(name, [ratios[name]], width=12))
+    lines.append("")
+    lines.append(f"grid partitioning modelled time: {upfront:.3f}s")
+    lines.append(
+        f"grid replication factor: {grid.replication_factor:.2f}, "
+        f"edge balance: {grid.edge_balance:.2f}"
+    )
+    lines.append("paper: every ratio at or below ~0.2")
+    report("fig20_partitioning", lines)
+
+    for name, ratio in ratios.items():
+        assert ratio < 0.5, f"{name}: rebalance/partition ratio {ratio:.2f}"
+    assert max(ratios.values()) < 0.5
+    assert 1.0 <= grid.replication_factor <= 12.0

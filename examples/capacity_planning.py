@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Capacity planning: how long would a trillion-edge job take?
+
+Reproduces the paper's headline capacity experiment (Section 9.3:
+RMAT-36, one trillion edges, 16 TB of input on 32 machines' HDDs) and
+then uses the same machinery to answer planning questions a Chaos
+operator would ask:
+
+* how does the wall time change with cluster size?
+* SSDs vs HDDs at this scale?
+* what does the activity profile of MY algorithm imply?
+
+The runs are phantom (model-mode) executions of the real engine — the
+scheduling, batching and stealing code paths all run; only chunk
+payloads are elided — using activity profiles extracted from small
+functional runs (trace-driven scaling).
+
+Run:  python examples/capacity_planning.py   (takes a few minutes)
+"""
+
+from repro import (
+    BFS,
+    ClusterConfig,
+    GIGE_40,
+    PageRank,
+    bfs_profile,
+    extract_profile,
+    fixed_profile,
+    project_capacity,
+    rmat_graph,
+    run_algorithm,
+    to_undirected,
+)
+from repro.store.device import HDD_RAID0, SSD_480GB
+
+MACRO_CHUNK = 1 << 30  # 1 GB macro-chunks keep the event count tractable
+
+
+def config_for(machines: int, device) -> ClusterConfig:
+    return ClusterConfig(
+        machines=machines,
+        device=device,
+        network=GIGE_40,
+        chunk_bytes=MACRO_CHUNK,
+        partitions_per_machine=1,
+    )
+
+
+def main() -> None:
+    # -- 1. The paper's experiment ----------------------------------------
+    print("== RMAT-36 on 32 machines, HDD (the paper's Section 9.3) ==")
+    bfs = project_capacity(
+        BFS(), bfs_profile(13), scale=36, machines=32,
+        config=config_for(32, HDD_RAID0),
+    )
+    print(f"  {bfs.summary()}")
+    print("  paper: ~9 h, ~214 TB of I/O, ~7 GB/s aggregate")
+    pagerank = project_capacity(
+        PageRank(iterations=5), fixed_profile(5), scale=36, machines=32,
+        config=config_for(32, HDD_RAID0),
+    )
+    print(f"  {pagerank.summary()}")
+    print("  paper: ~19 h, ~395 TB of I/O")
+
+    # -- 2. Cluster-size sweep ---------------------------------------------
+    print("\n== 5-iteration PageRank on RMAT-34, HDD, by cluster size ==")
+    for machines in (8, 16, 32, 64):
+        projection = project_capacity(
+            PageRank(iterations=5), fixed_profile(5), scale=34,
+            machines=machines, config=config_for(machines, HDD_RAID0),
+        )
+        print(f"  m={machines:3d}: {projection.runtime_hours:6.2f} h "
+              f"({projection.aggregate_bandwidth_gbps:.1f} GB/s)")
+
+    # -- 3. Device choice ------------------------------------------------
+    print("\n== Same job, SSD vs HDD (32 machines) ==")
+    for device in (HDD_RAID0, SSD_480GB):
+        projection = project_capacity(
+            PageRank(iterations=5), fixed_profile(5), scale=34, machines=32,
+            config=config_for(32, device),
+        )
+        print(f"  {device.name:10s}: {projection.runtime_hours:6.2f} h")
+
+    # -- 4. Trace-driven profile for a custom workload ----------------------
+    print("\n== Trace-driven: extract a real BFS profile, then project ==")
+    small = to_undirected(rmat_graph(12, seed=3, weighted=True))
+    functional = run_algorithm(
+        BFS(root=0), small,
+        ClusterConfig(machines=4, chunk_bytes=16 * 1024),
+    )
+    profile = extract_profile(functional)
+    print(f"  extracted profile: {profile.iterations} iterations, "
+          f"{profile.total_update_factor():.2f} updates/edge total")
+    stretched = profile.stretched(13)  # wider frontier at scale 36
+    projection = project_capacity(
+        BFS(), stretched, scale=36, machines=32,
+        config=config_for(32, HDD_RAID0),
+    )
+    print(f"  projected: {projection.summary()}")
+
+
+if __name__ == "__main__":
+    main()

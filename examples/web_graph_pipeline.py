@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Web-graph pipeline: out-of-core processing through real files.
+
+Mirrors the paper's Data Commons experiment (Figure 9): a web-like
+hyperlink graph processed from secondary storage — here literally, using
+the file-backed chunk store so every edge and update chunk flows through
+the filesystem — on an HDD-modelled cluster.
+
+Also demonstrates the binary edge-list input format (Section 8) and the
+SCC structure analysis (the web's "bow-tie").
+
+Run:  python examples/web_graph_pipeline.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import ClusterConfig, HDD_RAID0, PageRank, run_algorithm, run_scc
+from repro.core.runtime import ChaosCluster
+from repro.graph import data_commons_like, read_edges, write_edges
+from repro.store import FileChunkStore
+from repro.store.device import HDD_SCALED
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="chaos-web-")
+    print(f"working directory: {workdir}")
+
+    # -- 1. Crawl ingest: binary edge list on disk ------------------------
+    crawl = data_commons_like(num_pages=4096, avg_degree=12.0, seed=2014)
+    input_path = os.path.join(workdir, "hyperlinks.bin")
+    size = write_edges(crawl, input_path)
+    print(
+        f"crawl: {crawl} -> {input_path} "
+        f"({size / 1e6:.1f} MB, compact binary format)"
+    )
+
+    # The computation consumes the unsorted binary edge list, exactly
+    # like the paper's pipeline.
+    graph = read_edges(input_path, crawl.num_vertices, weighted=False)
+
+    # -- 2. HDD cluster with file-backed storage engines ---------------------
+    config = ClusterConfig(
+        machines=4,
+        device=HDD_SCALED,
+        chunk_bytes=64 * 1024,
+        partitions_per_machine=2,
+    )
+    cluster = ChaosCluster(
+        config,
+        backend_factory=lambda machine: FileChunkStore(
+            os.path.join(workdir, f"machine{machine}")
+        ),
+    )
+
+    # -- 3. PageRank over the hyperlink graph ----------------------------
+    result = cluster.run(PageRank(iterations=5), graph)
+    ranks = result.values["rank"]
+    top_pages = np.argsort(ranks)[::-1][:5]
+    print("\n[PR] top pages:", ", ".join(str(p) for p in top_pages))
+    print(
+        f"[PR] simulated: {result.runtime * 1000:.0f} ms, "
+        f"{result.aggregate_bandwidth / 1e6:.0f} MB/s aggregate "
+        f"({config.machines}x {config.device.name})"
+    )
+    spilled = sum(
+        os.path.getsize(os.path.join(root, name))
+        for root, _dirs, files in os.walk(workdir)
+        for name in files
+    )
+    print(f"[PR] bytes on disk across storage engines: {spilled / 1e6:.1f} MB")
+
+    # -- 4. Bow-tie structure via SCC --------------------------------------
+    scc = run_scc(graph, config.with_(machines=2))
+    ids = scc.values["scc"]
+    _unique, counts = np.unique(ids, return_counts=True)
+    print(
+        f"\n[SCC] {len(counts)} strongly connected components; "
+        f"largest (the web's core) has {counts.max()} pages"
+    )
+    print(f"[SCC] driver: {scc.rounds} rounds, {len(scc.jobs)} GAS jobs, "
+          f"{scc.runtime * 1000:.0f} ms simulated")
+
+
+if __name__ == "__main__":
+    main()

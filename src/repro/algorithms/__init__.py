@@ -1,0 +1,39 @@
+"""The ten evaluation algorithms of the paper (Table 1).
+
+Eight are single GAS jobs (:class:`~repro.core.gas.GasAlgorithm`
+subclasses run via :func:`repro.core.runtime.run_algorithm`); MCST and
+SCC are multi-phase drivers (:func:`run_mcst`, :func:`run_scc`) that
+chain GAS jobs, as in X-Stream.
+
+The first five (BFS, WCC, MCST, MIS, SSSP) require an undirected input
+(symmetrize with :func:`repro.graph.convert.to_undirected`); the rest
+run on directed graphs.
+"""
+
+from repro.algorithms.bp import BeliefPropagation
+from repro.algorithms.conductance import Conductance
+from repro.algorithms.drivers import DriverResult
+from repro.algorithms.kcore import KCore, run_kcore_decomposition
+from repro.algorithms.mcst import run_mcst
+from repro.algorithms.mis import MIS
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.scc import run_scc, transpose_edges
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.traversal import BFS, SSSP, WCC
+
+__all__ = [
+    "BFS",
+    "BeliefPropagation",
+    "Conductance",
+    "DriverResult",
+    "KCore",
+    "run_kcore_decomposition",
+    "MIS",
+    "PageRank",
+    "SSSP",
+    "SpMV",
+    "WCC",
+    "run_mcst",
+    "run_scc",
+    "transpose_edges",
+]

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.xstream` — the single-machine X-Stream engine
+  (Table 1): same streaming partitions, but direct local I/O instead of
+  Chaos' client-server storage protocol.
+* :mod:`repro.baselines.giraph` — out-of-core Giraph (Figure 19):
+  Pregel-style static random vertex partitioning, strictly local I/O,
+  no dynamic load balancing.
+* :mod:`repro.baselines.powergraph` — PowerGraph's grid (2-D hash)
+  vertex-cut partitioner and its cost model (Figure 20).
+"""
+
+from repro.baselines.giraph import GiraphConfig, run_giraph
+from repro.baselines.powergraph import (
+    GridPartitioning,
+    grid_partition,
+    partitioning_time,
+)
+from repro.baselines.xstream import XStreamConfig, run_xstream
+
+__all__ = [
+    "GiraphConfig",
+    "GridPartitioning",
+    "XStreamConfig",
+    "grid_partition",
+    "partitioning_time",
+    "run_giraph",
+    "run_xstream",
+]

@@ -1,0 +1,149 @@
+"""PowerGraph's grid (2-D hash) vertex-cut partitioner (Figure 20).
+
+Figure 20 asks whether Chaos should have paid for high-quality upfront
+partitioning instead of dynamic load balancing: it compares, for each
+algorithm, the worst-case per-machine dynamic rebalancing cost in Chaos
+against the time PowerGraph's grid partitioning algorithm needs to
+partition the same graph *in memory* — and finds rebalancing costs about
+a tenth of partitioning.
+
+This module implements the actual grid partitioner: machines are
+arranged in a (near-)square grid; vertex v hashes to a row and a column
+("constraint sets"); an edge (u, v) may be placed only on machines in
+the intersection of u's constraint set and v's constraint set, and the
+partitioner picks the least-loaded candidate.  We report the real
+replication factor and edge balance, and model the distributed
+partitioning time from PowerGraph's published ingress throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+#: PowerGraph grid-ingress throughput per machine, edges/second.  The
+#: PowerGraph paper reports grid ingress of a few million edges/second
+#: across a 64-node cluster; per machine this is in the hundreds of
+#: thousands.  This constant is the calibration knob for Figure 20.
+GRID_EDGES_PER_SECOND_PER_MACHINE = 500_000.0
+
+
+@dataclass
+class GridPartitioning:
+    """Result of grid-partitioning a graph across ``machines``."""
+
+    machines: int
+    rows: int
+    cols: int
+    #: machine index for every edge.
+    assignment: np.ndarray
+    #: mean number of machine replicas per vertex.
+    replication_factor: float
+    #: max / mean edges per machine.
+    edge_balance: float
+
+    def edges_per_machine(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.machines)
+
+
+def _grid_shape(machines: int) -> Tuple[int, int]:
+    """Closest-to-square factorization of the machine count."""
+    rows = int(np.floor(np.sqrt(machines)))
+    while machines % rows != 0:
+        rows -= 1
+    return rows, machines // rows
+
+
+def grid_partition(edges: EdgeList, machines: int, seed: int = 0) -> GridPartitioning:
+    """Run PowerGraph's grid heuristic over the edge list.
+
+    Every vertex hashes to one grid row and one grid column; the
+    candidate machines for edge (u, v) are the (row(u), col(v)) and
+    (row(v), col(u)) grid cells; greedy placement takes the less-loaded
+    candidate.  (For a 1-D grid this degrades to hashing, as in
+    PowerGraph.)
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    rows, cols = _grid_shape(machines)
+    rng = np.random.default_rng(seed)
+    # Random vertex -> (row, col) hashes.
+    vertex_row = rng.integers(0, rows, size=edges.num_vertices)
+    vertex_col = rng.integers(0, cols, size=edges.num_vertices)
+
+    candidate_a = vertex_row[edges.src] * cols + vertex_col[edges.dst]
+    candidate_b = vertex_row[edges.dst] * cols + vertex_col[edges.src]
+
+    # Greedy least-loaded choice, streamed in blocks (the real ingress
+    # is also greedy on running load counters).
+    load = np.zeros(machines, dtype=np.int64)
+    assignment = np.empty(edges.num_edges, dtype=np.int64)
+    block = 65536
+    for start in range(0, edges.num_edges, block):
+        stop = min(start + block, edges.num_edges)
+        a = candidate_a[start:stop]
+        b = candidate_b[start:stop]
+        pick_b = load[b] < load[a]
+        chosen = np.where(pick_b, b, a)
+        assignment[start:stop] = chosen
+        load += np.bincount(chosen, minlength=machines)
+
+    # Replication factor: how many machines hold a replica of each vertex.
+    replicas = set()
+    pair_src = edges.src * machines + assignment
+    pair_dst = edges.dst * machines + assignment
+    unique_pairs = np.union1d(np.unique(pair_src), np.unique(pair_dst))
+    touched_vertices = np.unique(np.concatenate([edges.src, edges.dst]))
+    replication = (
+        len(unique_pairs) / len(touched_vertices) if len(touched_vertices) else 0.0
+    )
+
+    counts = np.bincount(assignment, minlength=machines)
+    balance = float(counts.max() / counts.mean()) if counts.mean() > 0 else 1.0
+    return GridPartitioning(
+        machines=machines,
+        rows=rows,
+        cols=cols,
+        assignment=assignment,
+        replication_factor=float(replication),
+        edge_balance=balance,
+    )
+
+
+def partitioning_time(num_edges: int, machines: int) -> float:
+    """Modelled wall time for distributed in-memory grid partitioning.
+
+    The graph must fit in cluster memory (the paper could not even run
+    this at RMAT-32 scale and extrapolated from RMAT-27, as do we).
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    return num_edges / (GRID_EDGES_PER_SECOND_PER_MACHINE * machines)
+
+
+def rebalance_time(result) -> float:
+    """Chaos' dynamic load-balancing cost: the worst per-machine
+    *overhead* of achieving load balance.
+
+    Following the paper's Figure 17 discussion ("the copying and merging
+    time represents the overhead of achieving load balance"), the cost
+    is merging + merge waits plus the share of vertex-set copying
+    attributable to stolen partitions — NOT the stolen graph processing
+    itself, which is useful work that merely moved machines.
+    """
+    costs = []
+    for breakdown in result.breakdowns:
+        graph_processing = breakdown.gp_master + breakdown.gp_stolen
+        stolen_fraction = (
+            breakdown.gp_stolen / graph_processing if graph_processing > 0 else 0.0
+        )
+        costs.append(
+            breakdown.merge
+            + breakdown.merge_wait
+            + breakdown.copy * stolen_fraction
+        )
+    return max(costs) if costs else 0.0

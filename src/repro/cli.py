@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Produce a graph (RMAT or web-like) as a binary edge list.
+``run``
+    Run one of the ten algorithms on a simulated Chaos cluster, from a
+    generated graph or a binary edge-list file; prints the result
+    summary, runtime breakdown and I/O statistics.
+``capacity``
+    Paper-scale capacity projection (model mode): hours, terabytes,
+    aggregate bandwidth for a trillion-edge-class job.
+``utilization``
+    The closed-form storage-utilization table of Figure 5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms import (
+    BFS,
+    MIS,
+    SSSP,
+    WCC,
+    BeliefPropagation,
+    Conductance,
+    PageRank,
+    SpMV,
+    run_mcst,
+    run_scc,
+)
+from repro.core.batching import utilization, utilization_limit
+from repro.core.config import ClusterConfig
+from repro.core.runtime import run_algorithm
+from repro.graph.convert import to_undirected
+from repro.graph.datasets import data_commons_like
+from repro.graph.edgelist import read_edges, write_edges
+from repro.graph.rmat import rmat_graph
+from repro.graph.stats import out_degrees
+from repro.net.topology import GIGE_1, GIGE_40
+from repro.perf.capacity import project_capacity
+from repro.perf.profiles import bfs_profile, fixed_profile
+from repro.store.device import HDD_RAID0, SSD_480GB
+
+ALGORITHMS = (
+    "BFS",
+    "WCC",
+    "MCST",
+    "MIS",
+    "SSSP",
+    "SCC",
+    "PR",
+    "Cond",
+    "SpMV",
+    "BP",
+)
+
+UNDIRECTED = {"BFS", "WCC", "MCST", "MIS", "SSSP"}
+WEIGHTED = {"MCST", "SSSP"}
+
+DEVICES = {"ssd": SSD_480GB, "hdd": HDD_RAID0}
+NETWORKS = {"40g": GIGE_40, "1g": GIGE_1}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chaos (SOSP 2015) reproduction: scale-out graph "
+        "processing from secondary storage.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a graph file")
+    generate.add_argument("--kind", choices=("rmat", "web"), default="rmat")
+    generate.add_argument("--scale", type=int, default=14,
+                          help="RMAT scale (2^scale vertices)")
+    generate.add_argument("--pages", type=int, default=100_000,
+                          help="web graph page count")
+    generate.add_argument("--weighted", action="store_true")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output path (binary)")
+
+    run = commands.add_parser("run", help="run an algorithm on a cluster")
+    run.add_argument("--algorithm", choices=ALGORITHMS, required=True)
+    run.add_argument("--machines", type=int, default=4)
+    run.add_argument("--scale", type=int, default=12,
+                     help="generate an RMAT graph of this scale")
+    run.add_argument("--input", help="binary edge-list file instead")
+    run.add_argument("--vertices", type=int,
+                     help="vertex count of the --input file")
+    run.add_argument("--weighted", action="store_true",
+                     help="the --input file has weights")
+    run.add_argument("--iterations", type=int, default=5,
+                     help="iterations for PR/BP")
+    run.add_argument("--root", type=int, default=None,
+                     help="BFS/SSSP root (default: highest-degree vertex)")
+    run.add_argument("--chunk-kb", type=int, default=64)
+    run.add_argument("--device", choices=DEVICES, default="ssd")
+    run.add_argument("--network", choices=NETWORKS, default="40g")
+    run.add_argument("--cores", type=int, default=16)
+    run.add_argument("--alpha", type=float, default=1.0,
+                     help="steal bias (0 disables stealing, inf always)")
+    run.add_argument("--checkpoint", action="store_true")
+    run.add_argument("--aggregate-updates", action="store_true")
+    run.add_argument("--partitions-per-machine", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+
+    capacity = commands.add_parser(
+        "capacity", help="paper-scale capacity projection (model mode)"
+    )
+    capacity.add_argument("--algorithm", choices=("BFS", "PR"), default="BFS")
+    capacity.add_argument("--scale", type=int, default=36)
+    capacity.add_argument("--machines", type=int, default=32)
+    capacity.add_argument("--device", choices=DEVICES, default="hdd")
+    capacity.add_argument("--iterations", type=int, default=5,
+                          help="PR iterations / BFS passes")
+    capacity.add_argument("--chunk-mb", type=int, default=1024,
+                          help="macro-chunk size for the projection")
+
+    util = commands.add_parser(
+        "utilization", help="theoretical utilization table (Figure 5)"
+    )
+    util.add_argument("--max-machines", type=int, default=32)
+
+    return parser
+
+
+def _make_algorithm(name: str, args, graph):
+    if name == "BFS" or name == "SSSP":
+        root = args.root
+        if root is None:
+            root = int(np.argmax(out_degrees(graph)))
+        return BFS(root=root) if name == "BFS" else SSSP(root=root)
+    if name == "WCC":
+        return WCC()
+    if name == "MIS":
+        return MIS()
+    if name == "PR":
+        return PageRank(iterations=args.iterations)
+    if name == "Cond":
+        return Conductance()
+    if name == "SpMV":
+        return SpMV(seed=args.seed)
+    if name == "BP":
+        return BeliefPropagation(iterations=args.iterations)
+    raise ValueError(name)
+
+
+def _load_graph(args):
+    if args.input:
+        if args.vertices is None:
+            raise SystemExit("--input requires --vertices")
+        graph = read_edges(args.input, args.vertices, weighted=args.weighted)
+    else:
+        weighted = args.weighted or args.algorithm in WEIGHTED
+        graph = rmat_graph(args.scale, seed=args.seed, weighted=weighted)
+    if args.algorithm in UNDIRECTED:
+        graph = to_undirected(graph)
+    return graph
+
+
+def _command_generate(args) -> int:
+    if args.kind == "rmat":
+        graph = rmat_graph(args.scale, seed=args.seed, weighted=args.weighted)
+    else:
+        graph = data_commons_like(args.pages, seed=args.seed)
+    size = write_edges(graph, args.out)
+    print(f"wrote {graph} to {args.out} ({size / 1e6:.1f} MB)")
+    return 0
+
+
+def _command_run(args) -> int:
+    graph = _load_graph(args)
+    config = ClusterConfig(
+        machines=args.machines,
+        cores=args.cores,
+        device=DEVICES[args.device],
+        network=NETWORKS[args.network],
+        chunk_bytes=args.chunk_kb * 1024,
+        steal_alpha=args.alpha,
+        checkpointing=args.checkpoint,
+        aggregate_updates=args.aggregate_updates,
+        partitions_per_machine=args.partitions_per_machine,
+        seed=args.seed,
+    )
+    print(f"graph: {graph}")
+    print(
+        f"cluster: {config.machines} machines, {config.device.name}, "
+        f"{config.network.name}, window {config.effective_request_window()}"
+    )
+
+    if args.algorithm == "MCST":
+        result = run_mcst(graph, config)
+    elif args.algorithm == "SCC":
+        result = run_scc(graph, config)
+    else:
+        algorithm = _make_algorithm(args.algorithm, args, graph)
+        result = run_algorithm(algorithm, graph, config)
+
+    print()
+    print(result.summary())
+    print(f"  preprocessing: {result.preprocessing_seconds:.3f}s")
+    print(f"  storage I/O:   {result.storage_bytes / 1e6:.1f} MB")
+    print(f"  network:       {result.network_bytes / 1e6:.1f} MB")
+    print(
+        f"  steals:        {result.steals_accepted} accepted, "
+        f"{result.steals_rejected} rejected"
+    )
+    print("  breakdown:")
+    for category, fraction in result.total_breakdown().fractions().items():
+        print(f"    {category:<11s} {fraction:6.1%}")
+    return 0
+
+
+def _command_capacity(args) -> int:
+    config = ClusterConfig(
+        machines=args.machines,
+        device=DEVICES[args.device],
+        network=GIGE_40,
+        chunk_bytes=args.chunk_mb * 1024 * 1024,
+        partitions_per_machine=1,
+    )
+    if args.algorithm == "BFS":
+        projection = project_capacity(
+            BFS(), bfs_profile(13), scale=args.scale,
+            machines=args.machines, config=config,
+        )
+    else:
+        projection = project_capacity(
+            PageRank(iterations=args.iterations),
+            fixed_profile(args.iterations),
+            scale=args.scale,
+            machines=args.machines,
+            config=config,
+        )
+    print(projection.summary())
+    return 0
+
+
+def _command_utilization(args) -> int:
+    machine_counts = [m for m in (5, 10, 15, 20, 25, 30, 32)
+                      if m <= args.max_machines] or [args.max_machines]
+    print("rho(m, k) = 1 - (1 - k/m)^m        (Figure 5)")
+    header = "k\\m " + "".join(f"{m:>9d}" for m in machine_counts) + "     limit"
+    print(header)
+    for k in (1, 2, 3, 5):
+        row = f"k={k:<2d}" + "".join(
+            f"{utilization(m, k):>9.4f}" for m in machine_counts
+        )
+        print(row + f"{utilization_limit(k):>10.4f}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "run": _command_run,
+        "capacity": _command_capacity,
+        "utilization": _command_utilization,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,735 @@
+"""The Chaos computation engine (Sections 4, 5 and Figure 4).
+
+One computation engine runs per machine.  Each iteration has a scatter
+phase and a gather phase (apply is folded into gather), separated by
+global barriers.  Within a phase an engine:
+
+1. works on its assigned partitions, one at a time — loading the vertex
+   set, then streaming edge (scatter) or update (gather) chunks from the
+   storage sub-system with a window of ``φk`` outstanding requests to
+   randomly chosen storage engines (Section 6.5);
+2. when done, makes one pass over every foreign partition, proposing to
+   help its master; accepted proposals are executed exactly like owned
+   partitions (Section 5.3).  A single pass suffices: the acceptance
+   criterion (Eq. 2) is monotone — once a proposal would be rejected it
+   would be rejected at any later time, because the remaining data D
+   only shrinks and the worker count H only grows;
+3. for gather, stealers ship their partial accumulators to the master,
+   which merges them and runs Apply before writing the vertex set back
+   (Figure 3 / Figure 4 lines 40-45);
+4. optionally checkpoints its partitions' vertex sets before each
+   barrier (Section 6.6).
+
+The engine is written against the :class:`repro.core.workload.Workload`
+interface, so the identical scheduling logic drives both functional
+(real data) and capacity-model (phantom) runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.config import ClusterConfig
+from repro.core.metrics import Breakdown
+from repro.core.stealing import estimate_cluster_remaining, should_accept_steal
+from repro.core.workload import UpdateBatch, Workload
+from repro.net.transport import Network
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import CoreBank
+from repro.sim.sync import Barrier, WaitGroup
+from repro.store import engine as store_engine
+from repro.store.chunk import Chunk, ChunkKind
+from repro.store.placement import (
+    CentralizedDirectory,
+    HashedVertexPlacement,
+    RandomPlacement,
+)
+
+COMPUTE_SERVICE = "compute"
+
+#: Wire size of a steal proposal / response (control messages).
+STEAL_MESSAGE_BYTES = 48
+
+
+@dataclass
+class PartitionPhaseState:
+    """Master-side bookkeeping for one owned partition in one phase."""
+
+    partition: int
+    kind: ChunkKind
+    workers: int = 0
+    stealers: List[int] = field(default_factory=list)
+    closed: bool = False
+    accums: List[object] = field(default_factory=list)
+    accum_group: Optional[WaitGroup] = None
+
+
+class _StreamState:
+    """Progress of streaming one (partition, kind) on one engine."""
+
+    __slots__ = (
+        "partition",
+        "kind",
+        "in_flight",
+        "exhausted",
+        "processing",
+        "done",
+        "chunks_received",
+        "records",
+        "accum",
+    )
+
+    def __init__(self, sim: Simulator, partition: int, kind: ChunkKind, accum):
+        self.partition = partition
+        self.kind = kind
+        self.in_flight = 0
+        self.exhausted: Set[int] = set()
+        self.processing = WaitGroup(sim, name=f"proc.p{partition}")
+        self.done = Event(sim, name=f"stream.p{partition}.{kind.value}")
+        self.chunks_received = 0
+        self.records = 0
+        self.accum = accum
+
+
+class ComputationEngine:
+    """One machine's computation engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        machine: int,
+        config: ClusterConfig,
+        workload: Workload,
+        job: "JobCoordinator",
+        local_store: "store_engine.StorageEngine",
+        barrier: Barrier,
+        directory: Optional[CentralizedDirectory] = None,
+        input_bytes_share: int = 0,
+    ):
+        self.sim = sim
+        self.network = network
+        self.machine = machine
+        self.config = config
+        self.workload = workload
+        self.job = job
+        self.local_store = local_store
+        self.barrier = barrier
+        self.directory = directory
+        self.input_bytes_share = input_bytes_share
+
+        self.layout = workload.layout
+        self.cores = CoreBank(sim, config.cores, name=f"m{machine}.cores")
+        self.metrics = Breakdown()
+        self.window = config.effective_request_window()
+        # Stable arithmetic seeds: Python string hashing is salted per
+        # process, which would break cross-process reproducibility.
+        self._rng = random.Random(config.seed * 1_000_003 + machine * 7919 + 1)
+        self.placement = RandomPlacement(
+            config.machines, seed=config.seed * 1_000_003 + machine * 7919 + 2
+        )
+        self.vertex_placement = HashedVertexPlacement(config.machines)
+
+        # Partitions this engine masters: round-robin assignment so each
+        # of the k×m partitions has a master (Section 5).
+        self.my_partitions = [
+            p
+            for p in range(self.layout.num_partitions)
+            if p % config.machines == machine
+        ]
+
+        self._mailbox = network.register(machine, COMPUTE_SERVICE)
+        self._pending: Dict[int, Callable] = {}
+        self._next_request = machine  # distinct id streams per machine
+        self._master_state: Dict[int, PartitionPhaseState] = {}
+        self._write_group = WaitGroup(sim, name=f"m{machine}.writes")
+        # Scatter output buffers, keyed by destination partition.
+        self._buffers: Dict[int, List[UpdateBatch]] = {}
+        self._buffer_bytes: Dict[int, int] = {}
+        self.checkpoints_written = 0
+        self.updates_written_records = 0
+        self.updates_written_bytes = 0
+        self.finished: Optional[Event] = None
+
+        sim.process(self._dispatch(), name=f"compute{machine}.dispatch")
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+
+    def _new_request_id(self) -> int:
+        self._next_request += self.config.machines
+        return self._next_request
+
+    def _dispatch(self):
+        while True:
+            message = yield self._mailbox.get()
+            kind = message.kind
+            if kind in ("read_reply", "vread_reply", "write_ack", "directory_reply"):
+                request_id = message.payload[0]
+                callback = self._pending.pop(request_id, None)
+                if callback is None:
+                    raise RuntimeError(
+                        f"engine {self.machine}: unexpected reply "
+                        f"{kind} id={request_id}"
+                    )
+                callback(message)
+            elif kind == "steal_request":
+                self._handle_steal_request(message)
+            elif kind == "steal_reply":
+                request_id = message.payload[0]
+                callback = self._pending.pop(request_id, None)
+                if callback is not None:
+                    callback(message)
+            elif kind == "accum":
+                self._handle_accum(message)
+            else:
+                raise RuntimeError(
+                    f"engine {self.machine}: unknown message kind {kind!r}"
+                )
+
+    def _with_location(self, callback: Callable[[int], None]) -> None:
+        """Resolve a storage location, via the directory if centralized."""
+        if self.directory is None:
+            callback(-1)  # caller picks its own location
+            return
+        request_id = self._new_request_id()
+
+        def on_reply(message):
+            _rid, location = message.payload
+            callback(location)
+
+        self._pending[request_id] = on_reply
+        self.directory.lookup_from(self.machine, COMPUTE_SERVICE, request_id)
+
+    def _send_read(
+        self, partition: int, kind: ChunkKind, target: int, callback
+    ) -> None:
+        request_id = self._new_request_id()
+        self._pending[request_id] = callback
+        self.network.send(
+            src=self.machine,
+            dst=target,
+            service=store_engine.SERVICE,
+            kind="read",
+            size=store_engine.CONTROL_BYTES,
+            payload=(request_id, self.machine, COMPUTE_SERVICE, partition, kind),
+        )
+
+    def _write_chunk(self, chunk: Chunk, target: int) -> None:
+        """Asynchronously write a chunk; tracked by the phase write group."""
+        self._write_group.add(1)
+        request_id = self._new_request_id()
+
+        def on_ack(_message):
+            self._write_group.done_one()
+
+        self._pending[request_id] = on_ack
+        message_kind = (
+            "vwrite" if chunk.kind is ChunkKind.VERTICES else "write"
+        )
+        self.network.send(
+            src=self.machine,
+            dst=target,
+            service=store_engine.SERVICE,
+            kind=message_kind,
+            size=chunk.size,
+            payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
+        )
+
+    # ------------------------------------------------------------------
+    # Work stealing: master side
+    # ------------------------------------------------------------------
+
+    def _handle_steal_request(self, message) -> None:
+        request_id, proposer, partition, kind = message.payload
+        state = self._master_state.get(partition)
+        if state is None or state.kind is not kind or state.closed:
+            accept = False
+        else:
+            remaining = estimate_cluster_remaining(
+                self.local_store.remaining_bytes(partition, kind),
+                self.config.machines,
+            )
+            decision = should_accept_steal(
+                vertex_bytes=self.workload.vertex_set_bytes(partition),
+                remaining_bytes=remaining,
+                workers=state.workers,
+                alpha=self.config.steal_alpha,
+            )
+            accept = decision.accept
+        if accept:
+            state.workers += 1
+            state.stealers.append(proposer)
+            if state.kind is ChunkKind.UPDATES and state.accum_group is not None:
+                state.accum_group.add(1)
+            self.job.steals_accepted += 1
+        else:
+            self.job.steals_rejected += 1
+        self.network.send(
+            src=self.machine,
+            dst=proposer,
+            service=COMPUTE_SERVICE,
+            kind="steal_reply",
+            size=STEAL_MESSAGE_BYTES,
+            payload=(request_id, accept, partition),
+        )
+
+    def _handle_accum(self, message) -> None:
+        partition, accum = message.payload
+        state = self._master_state.get(partition)
+        if state is None or state.accum_group is None:
+            raise RuntimeError(
+                f"engine {self.machine}: stray accumulator for partition "
+                f"{partition}"
+            )
+        if accum is not None:
+            state.accums.append(accum)
+        state.accum_group.done_one()
+
+    # ------------------------------------------------------------------
+    # Streaming a partition
+    # ------------------------------------------------------------------
+
+    def _record_cpu_seconds(self, kind: ChunkKind, records: int) -> float:
+        if kind is ChunkKind.EDGES:
+            return records * self.config.cpu_seconds_per_edge
+        return records * self.config.cpu_seconds_per_update
+
+    def _start_streaming(
+        self, partition: int, kind: ChunkKind, accum, iteration: int
+    ) -> _StreamState:
+        state = _StreamState(self.sim, partition, kind, accum)
+        self._pump(state, iteration)
+        return state
+
+    def _pump(self, state: _StreamState, iteration: int) -> None:
+        while state.in_flight < self.window:
+            target = self.placement.choose_read(state.exhausted)
+            if target is None:
+                break
+            state.in_flight += 1
+            self._issue_read(state, target, iteration)
+        self._maybe_finish_stream(state)
+
+    def _issue_read(self, state: _StreamState, target: int, iteration: int) -> None:
+        def on_located(_location: int) -> None:
+            # The directory round trip (if any) is the cost; the engine
+            # still respects its exhaustion bookkeeping for correctness.
+            self._send_read(
+                state.partition,
+                state.kind,
+                target,
+                lambda message: self._on_chunk_reply(state, message, iteration),
+            )
+
+        self._with_location(on_located)
+
+    def _on_chunk_reply(self, state: _StreamState, message, iteration: int) -> None:
+        state.in_flight -= 1
+        _request_id, chunk = message.payload
+        if chunk is None:
+            state.exhausted.add(message.src)
+        else:
+            state.chunks_received += 1
+            state.records += chunk.records
+            state.processing.add(1)
+            cpu = self.cores.execute(
+                self._record_cpu_seconds(state.kind, chunk.records)
+            )
+            cpu.subscribe(
+                lambda _e: self._process_chunk(state, chunk, iteration)
+            )
+        self._pump(state, iteration)
+
+    def _process_chunk(self, state: _StreamState, chunk: Chunk, iteration: int) -> None:
+        if state.kind is ChunkKind.EDGES:
+            batches = self.workload.scatter_chunk(state.partition, chunk, iteration)
+            for batch in batches:
+                self._buffer_updates(batch)
+            self.job.note_scatter(chunk.records, batches)
+        else:
+            self.workload.gather_chunk(state.partition, state.accum, chunk)
+        state.processing.done_one()
+        self._maybe_finish_stream(state)
+
+    def _maybe_finish_stream(self, state: _StreamState) -> None:
+        if state.done.triggered:
+            return
+        if (
+            state.in_flight == 0
+            and len(state.exhausted) >= self.config.machines
+            and state.processing.outstanding == 0
+        ):
+            state.done.trigger()
+
+    # ------------------------------------------------------------------
+    # Update buffering (scatter output)
+    # ------------------------------------------------------------------
+
+    def _buffer_updates(self, batch: UpdateBatch) -> None:
+        self._buffers.setdefault(batch.partition, []).append(batch)
+        total = self._buffer_bytes.get(batch.partition, 0) + batch.nbytes
+        self._buffer_bytes[batch.partition] = total
+        if total >= self.config.chunk_bytes:
+            self._flush_buffer(batch.partition)
+
+    def _flush_buffer(self, partition: int) -> None:
+        batches = self._buffers.pop(partition, [])
+        nbytes = self._buffer_bytes.pop(partition, 0)
+        if not batches:
+            return
+        count = sum(b.count for b in batches)
+        if batches[0].payload is not None:
+            payload = {
+                "dst": np.concatenate([b.payload["dst"] for b in batches]),
+                "value": np.concatenate([b.payload["value"] for b in batches]),
+            }
+        else:
+            payload = None
+        if self.config.aggregate_updates and payload is not None:
+            combined = self.workload.algorithm.combine_updates(
+                payload["dst"], payload["value"]
+            )
+            if combined is not None:
+                # Combining costs CPU proportional to the records merged
+                # (the trade-off the paper measured, Section 11.1).
+                self.cores.execute(
+                    count * self.config.cpu_seconds_per_update
+                )
+                dst, values = combined
+                payload = {"dst": dst, "value": values}
+                count = len(dst)
+                nbytes = count * self.workload.algorithm.update_bytes
+        self.updates_written_records += count
+        self.updates_written_bytes += nbytes
+        chunk = Chunk(
+            partition=partition,
+            kind=ChunkKind.UPDATES,
+            size=nbytes,
+            payload=payload,
+            records=count,
+        )
+        target = self._resolve_write_target()
+        self._write_chunk(chunk, target)
+
+    def _resolve_write_target(self) -> int:
+        # With the centralized directory the *location decision* is the
+        # directory's; we model its serialization cost on reads (which
+        # dominate request counts) and writes use the engine-local RNG —
+        # the device-time outcome is identical (uniform random target).
+        return self.placement.choose_write()
+
+    def _flush_all_buffers(self) -> None:
+        for partition in list(self._buffers.keys()):
+            self._flush_buffer(partition)
+
+    # ------------------------------------------------------------------
+    # Vertex set I/O
+    # ------------------------------------------------------------------
+
+    def _vertex_chunk_sizes(self, partition: int) -> List[int]:
+        total = self.workload.vertex_set_bytes(partition)
+        if total <= 0:
+            return []
+        sizes = []
+        remaining = total
+        while remaining > 0:
+            size = min(self.config.chunk_bytes, remaining)
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    def _load_vertex_set(self, partition: int) -> Event:
+        """Read all vertex chunks of a partition; event fires when done."""
+        sizes = self._vertex_chunk_sizes(partition)
+        done = Event(self.sim, name=f"vload.p{partition}")
+        if not sizes:
+            done.trigger()
+            return done
+        outstanding = {"count": len(sizes)}
+
+        def on_reply(_message):
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                done.trigger()
+
+        for index in range(len(sizes)):
+            target = self.vertex_placement.machine_for(partition, index)
+            request_id = self._new_request_id()
+            self._pending[request_id] = on_reply
+            self.network.send(
+                src=self.machine,
+                dst=target,
+                service=store_engine.SERVICE,
+                kind="vread",
+                size=store_engine.CONTROL_BYTES,
+                payload=(request_id, self.machine, COMPUTE_SERVICE, partition, index),
+            )
+        return done
+
+    def _store_vertex_set(self, partition: int, checkpoint: bool = False) -> Event:
+        """Write all vertex chunks back; event fires when all are acked."""
+        sizes = self._vertex_chunk_sizes(partition)
+        done = Event(self.sim, name=f"vstore.p{partition}")
+        if not sizes:
+            done.trigger()
+            return done
+        outstanding = {"count": len(sizes)}
+
+        def on_ack(_message):
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                done.trigger()
+
+        base = 1_000_000 if checkpoint else 0
+        replicas = self.config.vertex_replicas
+        outstanding["count"] *= replicas
+        for index, size in enumerate(sizes):
+            targets = self.vertex_placement.machines_for(
+                partition, index, replicas
+            )
+            for target in targets:
+                chunk = Chunk(
+                    partition=partition,
+                    kind=ChunkKind.VERTICES,
+                    size=size,
+                    payload=None,
+                    index=base + index,
+                )
+                request_id = self._new_request_id()
+                self._pending[request_id] = on_ack
+                self.network.send(
+                    src=self.machine,
+                    dst=target,
+                    service=store_engine.SERVICE,
+                    kind="vwrite",
+                    size=size,
+                    payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
+                )
+        return done
+
+    # ------------------------------------------------------------------
+    # Partition work (scatter or gather, master or stealer)
+    # ------------------------------------------------------------------
+
+    def _work_on_partition(self, partition: int, kind: ChunkKind, master: bool):
+        iteration = self.job.iteration
+        # 1. Load the vertex set (the steal cost V of Eq. 1).
+        t0 = self.sim.now
+        yield self._load_vertex_set(partition)
+        self.metrics.add("copy", self.sim.now - t0)
+
+        if master:
+            state = self._master_state[partition]
+            state.workers += 1
+
+        accum = None
+        if kind is ChunkKind.UPDATES:
+            accum = self.workload.begin_gather(partition)
+
+        # 2. Stream edge/update chunks through the request window.
+        t1 = self.sim.now
+        stream = self._start_streaming(partition, kind, accum, iteration)
+        yield stream.done
+        self.metrics.add("gp_master" if master else "gp_stolen", self.sim.now - t1)
+
+        # 3. Phase-specific completion.
+        if kind is ChunkKind.UPDATES:
+            if master:
+                yield from self._finish_gather_master(partition, accum, iteration)
+            else:
+                yield from self._ship_accumulator(partition, accum)
+        else:
+            if master:
+                self._master_state[partition].closed = True
+
+    def _finish_gather_master(self, partition: int, accum, iteration: int):
+        state = self._master_state[partition]
+        state.closed = True
+        # Wait for every accepted stealer's accumulator (Figure 4 line 42).
+        t0 = self.sim.now
+        yield state.accum_group.wait()
+        self.metrics.add("merge_wait", self.sim.now - t0)
+
+        vertices = self.layout.vertex_count(partition)
+        # Merge stealer accumulators, then Apply (folded into gather).
+        t1 = self.sim.now
+        merge_cpu = (
+            len(state.accums) * vertices * self.config.cpu_seconds_per_vertex
+        )
+        apply_cpu = vertices * self.config.cpu_seconds_per_vertex
+        if merge_cpu + apply_cpu > 0:
+            yield self.cores.execute(merge_cpu + apply_cpu)
+        for other in state.accums:
+            self.workload.merge_accumulators(partition, accum, other)
+        changed = self.workload.apply_partition(partition, accum, iteration)
+        self.job.note_apply(changed)
+        self.metrics.add("merge", self.sim.now - t1)
+
+        # Write the vertex set back (only the master writes: Section 6.1).
+        t2 = self.sim.now
+        yield self._store_vertex_set(partition)
+        self.metrics.add("copy", self.sim.now - t2)
+
+        # Delete the partition's update set everywhere (Figure 4 line 45).
+        for target in range(self.config.machines):
+            self.network.send(
+                src=self.machine,
+                dst=target,
+                service=store_engine.SERVICE,
+                kind="delete",
+                size=store_engine.CONTROL_BYTES,
+                payload=(partition, ChunkKind.UPDATES),
+            )
+
+    def _ship_accumulator(self, partition: int, accum):
+        """Stealer side of gather completion: send the accumulator home."""
+        master = partition % self.config.machines
+        size = self.workload.accum_bytes(partition)
+        t0 = self.sim.now
+        delivered = self.network.send(
+            src=self.machine,
+            dst=master,
+            service=COMPUTE_SERVICE,
+            kind="accum",
+            size=size,
+            payload=(partition, accum),
+        )
+        yield delivered
+        self.metrics.add("copy", self.sim.now - t0)
+
+    # ------------------------------------------------------------------
+    # Steal pass (one pass per phase; see module docstring)
+    # ------------------------------------------------------------------
+
+    def _steal_pass(self, kind: ChunkKind):
+        foreign = [
+            p
+            for p in range(self.layout.num_partitions)
+            if p % self.config.machines != self.machine
+        ]
+        self._rng.shuffle(foreign)
+        for partition in foreign:
+            master = partition % self.config.machines
+            request_id = self._new_request_id()
+            reply = Event(self.sim, name=f"steal.p{partition}")
+            self._pending[request_id] = reply.trigger
+            self.network.send(
+                src=self.machine,
+                dst=master,
+                service=COMPUTE_SERVICE,
+                kind="steal_request",
+                size=STEAL_MESSAGE_BYTES,
+                payload=(request_id, self.machine, partition, kind),
+            )
+            message = yield reply
+            _rid, accepted, _partition = message.payload
+            if accepted:
+                yield from self._work_on_partition(partition, kind, master=False)
+
+    # ------------------------------------------------------------------
+    # Phases and the main loop
+    # ------------------------------------------------------------------
+
+    def _init_master_states(self, kind: ChunkKind) -> None:
+        self._master_state = {}
+        for partition in self.my_partitions:
+            state = PartitionPhaseState(partition=partition, kind=kind)
+            if kind is ChunkKind.UPDATES:
+                state.accum_group = WaitGroup(
+                    self.sim, name=f"accums.p{partition}"
+                )
+            self._master_state[partition] = state
+
+    def _run_phase(self, kind: ChunkKind):
+        self._init_master_states(kind)
+        for partition in self.my_partitions:
+            yield from self._work_on_partition(partition, kind, master=True)
+        if self.config.stealing_enabled and self.config.machines > 1:
+            yield from self._steal_pass(kind)
+        if kind is ChunkKind.EDGES:
+            self._flush_all_buffers()
+        # All in-flight chunk writes must land before the barrier.
+        t0 = self.sim.now
+        yield self._write_group.wait()
+        self.metrics.add("gp_master", self.sim.now - t0)
+        if self.config.checkpointing:
+            yield from self._checkpoint()
+
+    def _checkpoint(self):
+        """Two-phase vertex-set checkpoint (Section 6.6).
+
+        Phase one writes the new copies; phase two (retiring the old
+        generation) is a metadata operation once all writes are durable.
+        """
+        t0 = self.sim.now
+        events = [
+            self._store_vertex_set(partition, checkpoint=True)
+            for partition in self.my_partitions
+        ]
+        for event in events:
+            yield event
+        self.checkpoints_written += len(events)
+        self.metrics.add("copy", self.sim.now - t0)
+
+    def _enter_barrier(self):
+        t0 = self.sim.now
+        yield self.barrier.wait()
+        self.metrics.add("barrier", self.sim.now - t0)
+
+    def _preprocess(self):
+        """Simulate this machine's share of the one-pass pre-processing.
+
+        Each machine reads its share of the unsorted input edge list from
+        its local device and writes the partitioned edge chunks to
+        uniformly random storage engines (the chunks themselves were
+        pre-placed by the runtime; this phase accounts for the I/O).
+        """
+        share = self.input_bytes_share
+        chunk_bytes = self.config.chunk_bytes
+        remaining = share
+        while remaining > 0:
+            size = min(chunk_bytes, remaining)
+            remaining -= size
+            # Read the input slice locally ...
+            yield self.local_store.device.service(size)
+            # ... and write the equivalent volume of partitioned edge
+            # chunks to a random storage engine (charged, not stored:
+            # the data plane was pre-placed with the same RNG stream).
+            target = self.placement.choose_write()
+            request_id = self._new_request_id()
+            ack = Event(self.sim, name="pwrite.ack")
+            self._pending[request_id] = ack.trigger
+            self.network.send(
+                src=self.machine,
+                dst=target,
+                service=store_engine.SERVICE,
+                kind="pwrite",
+                size=size,
+                payload=(request_id, self.machine, COMPUTE_SERVICE, size),
+            )
+            yield ack
+
+    def main(self):
+        """The engine's top-level process (Figure 4 main loop)."""
+        yield from self._preprocess()
+        yield self.barrier.wait()
+        self.job.note_preprocessing_done(self.sim.now)
+
+        while True:
+            # -- scatter phase ------------------------------------------
+            self.job.begin_scatter()
+            yield from self._run_phase(ChunkKind.EDGES)
+            yield from self._enter_barrier()
+            if self.job.decide_after_scatter(self.barrier.generation):
+                break
+            # -- gather phase (apply folded in) ---------------------------
+            yield from self._run_phase(ChunkKind.UPDATES)
+            yield from self._enter_barrier()
+            if self.job.decide_after_gather(self.barrier.generation):
+                break

@@ -1,0 +1,137 @@
+"""Runtime metrics: the Figure 14 and Figure 17 instrumentation.
+
+Each computation engine attributes wall-clock (simulated) time to the
+categories the paper's breakdown uses:
+
+* ``gp_master`` — graph processing of partitions the engine masters;
+* ``gp_stolen`` — graph processing of partitions stolen from others;
+* ``copy``      — reading/writing vertex sets and shipping accumulators;
+* ``merge``     — merging stealer accumulators and running Apply;
+* ``merge_wait``— master idle, waiting for stealer accumulators;
+* ``barrier``   — idle at the global phase barriers.
+
+The cluster-level :class:`JobResult` also reports aggregate storage
+bandwidth (Figure 14), bytes moved, and per-iteration statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+BREAKDOWN_CATEGORIES = (
+    "gp_master",
+    "gp_stolen",
+    "copy",
+    "merge",
+    "merge_wait",
+    "barrier",
+)
+
+
+@dataclass
+class Breakdown:
+    """Per-engine wall-time attribution (Figure 17 categories)."""
+
+    gp_master: float = 0.0
+    gp_stolen: float = 0.0
+    copy: float = 0.0
+    merge: float = 0.0
+    merge_wait: float = 0.0
+    barrier: float = 0.0
+
+    def add(self, category: str, seconds: float) -> None:
+        if category not in BREAKDOWN_CATEGORIES:
+            raise ValueError(f"unknown breakdown category {category!r}")
+        setattr(self, category, getattr(self, category) + seconds)
+
+    def total(self) -> float:
+        return sum(getattr(self, c) for c in BREAKDOWN_CATEGORIES)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each category as a fraction of the total (0 if empty)."""
+        total = self.total()
+        if total <= 0:
+            return {c: 0.0 for c in BREAKDOWN_CATEGORIES}
+        return {c: getattr(self, c) / total for c in BREAKDOWN_CATEGORIES}
+
+    def merged_with(self, other: "Breakdown") -> "Breakdown":
+        result = Breakdown()
+        for category in BREAKDOWN_CATEGORIES:
+            result.add(
+                category, getattr(self, category) + getattr(other, category)
+            )
+        return result
+
+
+@dataclass
+class IterationStats:
+    """Counters for one scatter+gather iteration."""
+
+    iteration: int
+    updates_produced: int = 0
+    update_bytes: int = 0
+    edges_streamed: int = 0
+    vertices_changed: int = 0
+    scatter_seconds: float = 0.0
+    gather_seconds: float = 0.0
+    steals_accepted: int = 0
+    steals_rejected: int = 0
+
+
+@dataclass
+class JobResult:
+    """Everything a Chaos run reports.
+
+    ``runtime`` is simulated wall-clock seconds from the start of
+    pre-processing to the final vertex state being durable, matching the
+    paper's measurement convention (Section 8: *"all results include
+    pre-processing time"*).
+    """
+
+    algorithm: str
+    machines: int
+    runtime: float
+    preprocessing_seconds: float
+    iterations: int
+    iteration_stats: List[IterationStats] = field(default_factory=list)
+    breakdowns: List[Breakdown] = field(default_factory=list)
+    #: Total bytes served by all storage devices (reads + writes).
+    storage_bytes: int = 0
+    #: Bytes that crossed the network switch.
+    network_bytes: int = 0
+    #: Total steal proposals accepted / rejected.
+    steals_accepted: int = 0
+    steals_rejected: int = 0
+    #: Final vertex state (data mode only).
+    values: Optional[dict] = None
+    #: Checkpoint count (when checkpointing is enabled).
+    checkpoints: int = 0
+    #: Update records / bytes actually written to storage (differs from
+    #: the scatter-produced counts when update aggregation is on).
+    updates_written_records: int = 0
+    updates_written_bytes: int = 0
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Aggregate storage bandwidth seen by computation (Figure 14)."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.storage_bytes / self.runtime
+
+    def total_breakdown(self) -> Breakdown:
+        result = Breakdown()
+        for breakdown in self.breakdowns:
+            result = result.merged_with(breakdown)
+        return result
+
+    def total_updates(self) -> int:
+        return sum(s.updates_produced for s in self.iteration_stats)
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: m={self.machines} runtime={self.runtime:.3f}s "
+            f"iters={self.iterations} "
+            f"bw={self.aggregate_bandwidth / 1e6:.1f} MB/s "
+            f"steals={self.steals_accepted}"
+        )

@@ -1,0 +1,387 @@
+"""The cluster runtime: build a simulated deployment and run a job.
+
+:class:`ChaosCluster` wires together everything the paper describes
+(Figure 6): one process per machine containing a computation engine and
+a storage engine, connected by a full-bisection network.  ``run``
+executes a GAS algorithm over a real edge list (functional mode);
+``run_model`` executes a phantom workload described by a
+:class:`GraphSpec` and an activity profile (capacity mode).
+
+All reported runtimes are simulated wall-clock seconds from the start of
+pre-processing to the final vertex state being durable, matching the
+paper's measurement convention (Section 8).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.compute import ComputationEngine
+from repro.core.config import ClusterConfig
+from repro.core.gas import GasAlgorithm, GraphContext
+from repro.core.job import JobCoordinator
+from repro.core.metrics import JobResult
+from repro.core.workload import DataWorkload, ModelWorkload, Workload
+from repro.graph.edgelist import EdgeList, bytes_per_edge
+from repro.graph.stats import out_degrees as compute_out_degrees
+from repro.net.transport import Network
+from repro.partition.streaming import (
+    PartitionLayout,
+    choose_partition_count,
+    partition_edges,
+)
+from repro.sim.engine import Simulator
+from repro.sim.sync import Barrier
+from repro.store.chunk import Chunk, ChunkKind, split_into_chunks
+from repro.store.engine import StorageEngine
+from repro.store.memstore import MemoryChunkStore
+from repro.store.placement import CentralizedDirectory, HashedVertexPlacement
+
+
+@dataclass
+class GraphSpec:
+    """Description of a graph for model-mode (phantom) runs.
+
+    Capacity experiments (RMAT-36, Section 9.3) cannot materialize the
+    graph; the engine only needs volumes: vertex count, edge count, and
+    how edges distribute over the streaming partitions.
+    """
+
+    num_vertices: int
+    num_edges: int
+    weighted: bool = False
+    #: "rmat" reproduces the analytic RMAT partition skew; "uniform"
+    #: spreads edges evenly.
+    skew: str = "rmat"
+
+    def input_bytes(self) -> int:
+        return self.num_edges * bytes_per_edge(self.num_vertices, self.weighted)
+
+    def edge_record_bytes(self) -> int:
+        return bytes_per_edge(self.num_vertices, self.weighted)
+
+    def partition_fractions(self, num_partitions: int) -> np.ndarray:
+        if self.skew == "uniform":
+            return np.full(num_partitions, 1.0 / num_partitions)
+        if self.skew == "rmat":
+            return rmat_partition_fractions(num_partitions)
+        raise ValueError(f"unknown skew model {self.skew!r}")
+
+    @classmethod
+    def rmat(cls, scale: int, weighted: bool = False) -> "GraphSpec":
+        """The paper's scale-n graph: 2^n vertices, 2^(n+4) edges."""
+        return cls(
+            num_vertices=2**scale,
+            num_edges=16 * 2**scale,
+            weighted=weighted,
+            skew="rmat",
+        )
+
+
+def rmat_partition_fractions(
+    num_partitions: int, top_fraction: float = 0.76
+) -> np.ndarray:
+    """Exact per-partition edge fractions of an (unpermuted) RMAT graph.
+
+    With vertex ranges over the raw RMAT id space, a partition's edge
+    share is determined by the source-bit probabilities: each high-order
+    id bit is 0 with probability a+b (= 0.76 for Graph500 parameters).
+    For a power-of-two partition count the shares follow exactly; other
+    counts are interpolated through a fine power-of-two grid.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    bits = max(1, math.ceil(math.log2(max(2, num_partitions))))
+    grid = 2**bits
+    shares = np.ones(grid)
+    for bit in range(bits):
+        factor = np.where(
+            (np.arange(grid) >> (bits - 1 - bit)) & 1, 1 - top_fraction, top_fraction
+        )
+        shares *= factor
+    # Aggregate the fine grid down to the requested partition count.
+    boundaries = np.linspace(0, grid, num_partitions + 1)
+    fractions = np.empty(num_partitions)
+    cumulative = np.concatenate([[0.0], np.cumsum(shares)])
+    for p in range(num_partitions):
+        lo, hi = boundaries[p], boundaries[p + 1]
+        lo_i, hi_i = int(lo), int(hi)
+        value = cumulative[hi_i] - cumulative[lo_i]
+        value += (lo_i - lo) * (shares[lo_i - 1] if lo_i > 0 and lo_i != lo else 0)
+        if hi_i < grid and hi != hi_i:
+            value += (hi - hi_i) * shares[hi_i]
+        fractions[p] = value
+    fractions = np.maximum(fractions, 0)
+    return fractions / fractions.sum()
+
+
+class ChaosCluster:
+    """A simulated Chaos deployment, ready to run jobs."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        backend_factory: Optional[Callable[[int], object]] = None,
+    ):
+        self.config = config
+        self.backend_factory = backend_factory or (lambda _m: MemoryChunkStore())
+        #: Introspection handles from the most recent run (protocol
+        #: audits and tests): the storage engines and the network.
+        self.last_stores: Optional[List[StorageEngine]] = None
+        self.last_network: Optional[Network] = None
+
+    # ------------------------------------------------------------------
+    # Functional (data) mode
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        algorithm: GasAlgorithm,
+        edges: EdgeList,
+        initial_values=None,
+        start_iteration: int = 0,
+    ) -> JobResult:
+        """Execute ``algorithm`` on ``edges`` and return the result.
+
+        Validates the algorithm's input requirements, performs the
+        streaming-partition pre-processing, pre-places chunks, and runs
+        the full simulated cluster to completion.
+
+        ``initial_values`` resumes the computation from previously saved
+        vertex state (a checkpoint): the paper's recovery model, in
+        which all computation state lives in the vertex values
+        (Section 6.6).
+        """
+        config = self.config
+        if algorithm.needs_weights and not edges.weighted:
+            raise ValueError(
+                f"{algorithm.name} requires edge weights; the input has none"
+            )
+
+        layout = self._make_layout(edges.num_vertices, algorithm)
+        parts = partition_edges(edges, layout)
+
+        ctx = GraphContext(
+            num_vertices=edges.num_vertices,
+            num_edges=edges.num_edges,
+            weighted=edges.weighted,
+            out_degrees=(
+                compute_out_degrees(edges) if algorithm.needs_out_degrees else None
+            ),
+        )
+        workload = DataWorkload(algorithm, layout, ctx, initial_values=initial_values)
+        edge_bytes = bytes_per_edge(edges.num_vertices, edges.weighted)
+        return self._execute(
+            workload,
+            layout,
+            input_bytes=edges.storage_bytes(),
+            edge_chunk_loader=lambda placement_rng, stores: self._place_data_chunks(
+                parts, layout, edge_bytes, placement_rng, stores
+            ),
+            start_iteration=start_iteration,
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity (model) mode
+    # ------------------------------------------------------------------
+
+    def run_model(self, algorithm: GasAlgorithm, spec: GraphSpec, profile) -> JobResult:
+        """Execute a phantom workload described by ``spec`` + ``profile``."""
+        layout = self._make_layout(spec.num_vertices, algorithm)
+        workload = ModelWorkload(algorithm, layout, profile)
+        fractions = spec.partition_fractions(layout.num_partitions)
+        edge_bytes = spec.edge_record_bytes()
+        total_bytes = spec.input_bytes()
+
+        def loader(placement_rng, stores):
+            total_chunks = 0
+            for p in range(layout.num_partitions):
+                part_bytes = int(round(total_bytes * fractions[p]))
+                for size in split_into_chunks(part_bytes, self.config.chunk_bytes):
+                    records = max(1, size // edge_bytes)
+                    chunk = Chunk(
+                        partition=p,
+                        kind=ChunkKind.EDGES,
+                        size=size,
+                        payload=None,
+                        records=records,
+                    )
+                    stores[placement_rng.randrange(len(stores))].preload_chunk(chunk)
+                    total_chunks += 1
+            return total_chunks
+
+        return self._execute(
+            workload,
+            layout,
+            input_bytes=total_bytes,
+            edge_chunk_loader=loader,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _make_layout(
+        self, num_vertices: int, algorithm: GasAlgorithm
+    ) -> PartitionLayout:
+        config = self.config
+        if config.partitions_per_machine is not None:
+            count = config.machines * config.partitions_per_machine
+        else:
+            count = choose_partition_count(
+                num_vertices,
+                config.machines,
+                algorithm.vertex_state_bytes(),
+                config.memory_bytes,
+            )
+        return PartitionLayout.even(num_vertices, count)
+
+    def _place_data_chunks(
+        self,
+        parts: List[EdgeList],
+        layout: PartitionLayout,
+        edge_bytes: int,
+        placement_rng: random.Random,
+        stores: List[StorageEngine],
+    ) -> int:
+        """Split per-partition edge lists into chunks at random engines."""
+        chunk_records = max(1, self.config.chunk_bytes // edge_bytes)
+        total_chunks = 0
+        for p, part in enumerate(parts):
+            for start in range(0, part.num_edges, chunk_records):
+                stop = min(start + chunk_records, part.num_edges)
+                payload = {
+                    "src": part.src[start:stop],
+                    "dst": part.dst[start:stop],
+                }
+                if part.weighted:
+                    payload["weight"] = part.weight[start:stop]
+                chunk = Chunk(
+                    partition=p,
+                    kind=ChunkKind.EDGES,
+                    size=(stop - start) * edge_bytes,
+                    payload=payload,
+                    records=stop - start,
+                )
+                stores[placement_rng.randrange(len(stores))].preload_chunk(chunk)
+                total_chunks += 1
+        return total_chunks
+
+    def _place_vertex_chunks(
+        self, workload: Workload, layout: PartitionLayout, stores
+    ) -> None:
+        placement = HashedVertexPlacement(self.config.machines)
+        for p in range(layout.num_partitions):
+            total = workload.vertex_set_bytes(p)
+            for index, size in enumerate(
+                split_into_chunks(total, self.config.chunk_bytes)
+            ):
+                chunk = Chunk(
+                    partition=p,
+                    kind=ChunkKind.VERTICES,
+                    size=size,
+                    payload=None,
+                    index=index,
+                )
+                stores[placement.machine_for(p, index)].preload_chunk(chunk)
+
+    def _execute(
+        self,
+        workload: Workload,
+        layout: PartitionLayout,
+        input_bytes: int,
+        edge_chunk_loader,
+        start_iteration: int = 0,
+    ) -> JobResult:
+        config = self.config
+        sim = Simulator()
+        network = Network(sim, config.machines, config.network)
+        stores = [
+            StorageEngine(
+                sim, network, m, config.device, self.backend_factory(m)
+            )
+            for m in range(config.machines)
+        ]
+        # Stable seed (string hash() is salted per process).
+        placement_rng = random.Random(config.seed * 1_000_003 + 99991)
+        edge_chunk_loader(placement_rng, stores)
+        self._place_vertex_chunks(workload, layout, stores)
+
+        directory = None
+        if config.placement == "centralized":
+            directory = CentralizedDirectory(
+                sim,
+                network,
+                home=0,
+                lookups_per_second=config.directory_lookups_per_second,
+                seed=config.seed,
+            )
+
+        job = JobCoordinator(workload, stores, start_iteration=start_iteration)
+        barrier = Barrier(sim, parties=config.machines, name="phase-barrier")
+        per_machine_input = -(-input_bytes // config.machines)
+        engines = [
+            ComputationEngine(
+                sim,
+                network,
+                m,
+                config,
+                workload,
+                job,
+                local_store=stores[m],
+                barrier=barrier,
+                directory=directory,
+                input_bytes_share=per_machine_input,
+            )
+            for m in range(config.machines)
+        ]
+        processes = [
+            sim.process(engine.main(), name=f"engine{m}")
+            for m, engine in enumerate(engines)
+        ]
+        sim.run_until(sim.all_of([p.finished for p in processes]))
+        self.last_stores = stores
+        self.last_network = network
+
+        storage_bytes = sum(s.bytes_served() for s in stores)
+        return JobResult(
+            algorithm=workload.algorithm.name,
+            machines=config.machines,
+            runtime=sim.now,
+            preprocessing_seconds=job.preprocessing_end,
+            iterations=job.completed_iterations(),
+            iteration_stats=job.iteration_stats,
+            breakdowns=[engine.metrics for engine in engines],
+            storage_bytes=storage_bytes,
+            network_bytes=network.total_bytes(),
+            steals_accepted=job.steals_accepted,
+            steals_rejected=job.steals_rejected,
+            values=workload.final_values(),
+            checkpoints=sum(e.checkpoints_written for e in engines),
+            updates_written_records=sum(
+                e.updates_written_records for e in engines
+            ),
+            updates_written_bytes=sum(e.updates_written_bytes for e in engines),
+        )
+
+
+def run_algorithm(
+    algorithm: GasAlgorithm,
+    edges: EdgeList,
+    config: Optional[ClusterConfig] = None,
+    **config_overrides,
+) -> JobResult:
+    """Convenience one-shot entry point.
+
+    >>> result = run_algorithm(PageRank(iterations=5), graph, machines=4)
+    """
+    if config is None:
+        config = ClusterConfig(**config_overrides)
+    elif config_overrides:
+        config = config.with_(**config_overrides)
+    return ChaosCluster(config).run(algorithm, edges)

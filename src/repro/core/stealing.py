@@ -1,0 +1,98 @@
+"""The work-stealing acceptance criterion (Section 5.4).
+
+When engine *i* finishes its own partitions it proposes to help the
+master of every other partition.  The master accepts iff the stealer's
+cost (reading the partition's vertex set, V/B) is outweighed by the
+benefit (the remaining data D being drained by H+1 engines instead of
+H):
+
+    V/B + D/(B(H+1))  <  D/(BH)        (Eq. 1)
+    ⟺   V + D/(H+1)  <  D/H           (Eq. 2)
+
+The evaluation generalizes the right-hand side with a bias α
+(Section 10.2): α = 0 disables stealing, α = ∞ always steals, α = 1 is
+the Chaos default and empirically the best (Figure 18).
+
+D is estimated locally: the master multiplies the unprocessed bytes on
+its *local* storage engine by the machine count — accurate because
+chunks are spread uniformly (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StealDecision:
+    """Outcome of evaluating a steal proposal, with its inputs recorded."""
+
+    accept: bool
+    vertex_bytes: int
+    remaining_bytes: float
+    workers: int
+    alpha: float
+
+    def __bool__(self) -> bool:
+        return self.accept
+
+
+def should_accept_steal(
+    vertex_bytes: int,
+    remaining_bytes: float,
+    workers: int,
+    alpha: float = 1.0,
+) -> StealDecision:
+    """Evaluate Eq. 2 with bias α.
+
+    Parameters
+    ----------
+    vertex_bytes:
+        V — size of the partition's vertex set (the stealer must read it).
+    remaining_bytes:
+        D — estimated unprocessed edge/update bytes for the partition,
+        cluster-wide.
+    workers:
+        H — engines currently working on the partition (master included);
+        clamped to at least 1.
+    alpha:
+        Bias: 0 never steals, ``math.inf`` always steals, 1 is Chaos.
+    """
+    if vertex_bytes < 0:
+        raise ValueError("vertex_bytes must be non-negative")
+    if remaining_bytes < 0:
+        raise ValueError("remaining_bytes must be non-negative")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    h = max(1, int(workers))
+
+    if alpha == 0:
+        accept = False
+    elif math.isinf(alpha):
+        accept = True
+    else:
+        accept = vertex_bytes + remaining_bytes / (h + 1) < (
+            alpha * remaining_bytes / h
+        )
+    return StealDecision(
+        accept=accept,
+        vertex_bytes=vertex_bytes,
+        remaining_bytes=remaining_bytes,
+        workers=h,
+        alpha=alpha,
+    )
+
+
+def estimate_cluster_remaining(local_remaining_bytes: int, machines: int) -> float:
+    """D ≈ (local unprocessed bytes) × (number of machines).
+
+    Valid because edge/update chunks are placed uniformly randomly
+    across storage engines, so every engine holds ≈ 1/m of a partition's
+    data (Section 5.4).
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    if local_remaining_bytes < 0:
+        raise ValueError("local_remaining_bytes must be non-negative")
+    return float(local_remaining_bytes) * machines

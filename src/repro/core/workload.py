@@ -1,0 +1,269 @@
+"""Workloads: what flows through the engines.
+
+The computation engine (:mod:`repro.core.compute`) is written against a
+small workload interface so the same scheduling/stealing/batching logic
+drives two execution modes:
+
+:class:`DataWorkload`
+    Functional mode: chunks carry real numpy edge/update payloads and
+    the user algorithm's vectorized scatter/gather/apply run on them.
+    Results are exact.
+
+:class:`ModelWorkload`
+    Capacity mode: chunks are phantoms (sizes only) and per-iteration
+    update volumes come from an :class:`~repro.perf.profiles.ActivityProfile`.
+    Used for paper-scale projections (RMAT-36) that no machine could
+    materialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.gas import GasAlgorithm, GraphContext, State, state_slice
+from repro.partition.streaming import PartitionLayout
+from repro.store.chunk import Chunk
+
+
+@dataclass
+class UpdateBatch:
+    """Updates destined for one partition, produced by one scatter chunk."""
+
+    partition: int
+    count: int
+    nbytes: int
+    payload: Optional[Dict[str, np.ndarray]]  # {"dst": ..., "value": ...}
+
+
+class Workload:
+    """Interface between the computation engine and the data plane."""
+
+    algorithm: GasAlgorithm
+    layout: PartitionLayout
+
+    def vertex_set_bytes(self, partition: int) -> int:
+        raise NotImplementedError
+
+    def accum_bytes(self, partition: int) -> int:
+        raise NotImplementedError
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Hook called by the runtime before each iteration's scatter."""
+
+    def scatter_chunk(
+        self, partition: int, chunk: Chunk, iteration: int
+    ) -> List[UpdateBatch]:
+        raise NotImplementedError
+
+    def begin_gather(self, partition: int):
+        """Create a fresh (identity) accumulator handle for ``partition``."""
+        raise NotImplementedError
+
+    def gather_chunk(self, partition: int, accum, chunk: Chunk) -> None:
+        raise NotImplementedError
+
+    def merge_accumulators(self, partition: int, master_accum, other) -> None:
+        raise NotImplementedError
+
+    def apply_partition(self, partition: int, accum, iteration: int) -> int:
+        """Fold ``accum`` into the vertex values; return #changed."""
+        raise NotImplementedError
+
+    def finished(self, iteration: int, stats) -> bool:
+        raise NotImplementedError
+
+    def final_values(self) -> Optional[State]:
+        return None
+
+
+class DataWorkload(Workload):
+    """Functional execution over real numpy payloads."""
+
+    def __init__(
+        self,
+        algorithm: GasAlgorithm,
+        layout: PartitionLayout,
+        ctx: GraphContext,
+        initial_values: Optional[State] = None,
+    ):
+        self.algorithm = algorithm
+        self.layout = layout
+        self.ctx = ctx
+        self.values: State = algorithm.init_values(ctx)
+        for name, array in self.values.items():
+            if len(array) != ctx.num_vertices:
+                raise ValueError(
+                    f"state array {name!r} has length {len(array)}, "
+                    f"expected {ctx.num_vertices}"
+                )
+        if initial_values is not None:
+            # Resume from a checkpoint: overwrite the freshly initialized
+            # state with the restored vertex values (Section 6.6 — all
+            # computation state lives in the vertex values).
+            for name, array in self.values.items():
+                if name not in initial_values:
+                    raise ValueError(f"checkpoint missing state array {name!r}")
+                restored = np.asarray(initial_values[name])
+                if restored.shape != array.shape:
+                    raise ValueError(
+                        f"checkpoint array {name!r} has shape "
+                        f"{restored.shape}, expected {array.shape}"
+                    )
+                array[:] = restored
+
+    # -- sizes ----------------------------------------------------------
+
+    def vertex_set_bytes(self, partition: int) -> int:
+        return self.layout.vertex_count(partition) * self.algorithm.vertex_bytes
+
+    def accum_bytes(self, partition: int) -> int:
+        return self.layout.vertex_count(partition) * self.algorithm.accum_bytes
+
+    # -- scatter ----------------------------------------------------------
+
+    def _partition_state(self, partition: int) -> State:
+        start = self.layout.start(partition)
+        stop = start + self.layout.vertex_count(partition)
+        return state_slice(self.values, start, stop)
+
+    def scatter_chunk(
+        self, partition: int, chunk: Chunk, iteration: int
+    ) -> List[UpdateBatch]:
+        payload = chunk.payload
+        if payload is None:
+            raise ValueError("DataWorkload requires chunk payloads")
+        src = payload["src"]
+        dst = payload["dst"]
+        weight = payload.get("weight")
+        src_local = self.layout.to_local(partition, src)
+        state = self._partition_state(partition)
+        result = self.algorithm.scatter(state, src_local, dst, weight, iteration)
+        if result is None:
+            return []
+        out_dst, out_values = result
+        if len(out_dst) == 0:
+            return []
+        target = self.layout.partition_of(out_dst)
+        order = np.argsort(target, kind="stable")
+        sorted_targets = target[order]
+        boundaries = np.searchsorted(
+            sorted_targets, np.arange(self.layout.num_partitions + 1)
+        )
+        batches: List[UpdateBatch] = []
+        for p in range(self.layout.num_partitions):
+            lo, hi = boundaries[p], boundaries[p + 1]
+            if lo == hi:
+                continue
+            index = order[lo:hi]
+            count = int(hi - lo)
+            batches.append(
+                UpdateBatch(
+                    partition=p,
+                    count=count,
+                    nbytes=count * self.algorithm.update_bytes,
+                    payload={
+                        "dst": out_dst[index],
+                        "value": out_values[index],
+                    },
+                )
+            )
+        return batches
+
+    # -- gather / apply ------------------------------------------------------
+
+    def begin_gather(self, partition: int):
+        return self.algorithm.make_accumulator(self.layout.vertex_count(partition))
+
+    def gather_chunk(self, partition: int, accum, chunk: Chunk) -> None:
+        payload = chunk.payload
+        if payload is None:
+            raise ValueError("DataWorkload requires chunk payloads")
+        dst_local = self.layout.to_local(partition, payload["dst"])
+        self.algorithm.gather(
+            accum, dst_local, payload["value"], self._partition_state(partition)
+        )
+
+    def merge_accumulators(self, partition: int, master_accum, other) -> None:
+        self.algorithm.merge(master_accum, other)
+
+    def apply_partition(self, partition: int, accum, iteration: int) -> int:
+        state = self._partition_state(partition)
+        return int(self.algorithm.apply(state, accum, iteration))
+
+    def finished(self, iteration: int, stats) -> bool:
+        return self.algorithm.finished(iteration, stats)
+
+    def final_values(self) -> Optional[State]:
+        return self.values
+
+
+class ModelWorkload(Workload):
+    """Phantom execution driven by an activity profile.
+
+    ``profile`` supplies, per iteration, the expected number of updates
+    produced per edge *streamed* (the whole edge set is streamed every
+    scatter — the X-Stream/Chaos design) and the iteration count.
+    Updates are routed to partitions proportionally to their vertex
+    counts (uniform mixing), which matches random-destination skew well
+    enough for capacity projections.
+    """
+
+    def __init__(self, algorithm: GasAlgorithm, layout: PartitionLayout, profile):
+        self.algorithm = algorithm
+        self.layout = layout
+        self.profile = profile
+        self._partition_weights = np.array(
+            [layout.vertex_count(p) for p in range(layout.num_partitions)],
+            dtype=np.float64,
+        )
+        total = self._partition_weights.sum()
+        if total > 0:
+            self._partition_weights /= total
+
+    def vertex_set_bytes(self, partition: int) -> int:
+        return self.layout.vertex_count(partition) * self.algorithm.vertex_bytes
+
+    def accum_bytes(self, partition: int) -> int:
+        return self.layout.vertex_count(partition) * self.algorithm.accum_bytes
+
+    def scatter_chunk(
+        self, partition: int, chunk: Chunk, iteration: int
+    ) -> List[UpdateBatch]:
+        factor = self.profile.update_factor(iteration)
+        produced = int(round(chunk.records * factor))
+        if produced <= 0:
+            return []
+        batches: List[UpdateBatch] = []
+        # Deterministic proportional split (largest-remainder not needed
+        # at chunk granularity; rounding noise is negligible).
+        for p in range(self.layout.num_partitions):
+            count = int(round(produced * self._partition_weights[p]))
+            if count <= 0:
+                continue
+            batches.append(
+                UpdateBatch(
+                    partition=p,
+                    count=count,
+                    nbytes=count * self.algorithm.update_bytes,
+                    payload=None,
+                )
+            )
+        return batches
+
+    def begin_gather(self, partition: int):
+        return None  # phantom accumulator
+
+    def gather_chunk(self, partition: int, accum, chunk: Chunk) -> None:
+        pass
+
+    def merge_accumulators(self, partition: int, master_accum, other) -> None:
+        pass
+
+    def apply_partition(self, partition: int, accum, iteration: int) -> int:
+        return 0
+
+    def finished(self, iteration: int, stats) -> bool:
+        return iteration + 1 >= self.profile.iterations

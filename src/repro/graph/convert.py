@@ -1,0 +1,72 @@
+"""Edge-list transformations.
+
+*"If necessary, we convert directed to undirected graphs by adding a
+reverse edge."* (Section 8).  Chaos' GAS variant scatters only over
+outgoing edges, so an undirected graph is represented as a directed
+graph containing both orientations of every edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+
+def add_reverse_edges(edges: EdgeList) -> EdgeList:
+    """Append the reverse of every edge (weights are duplicated)."""
+    src = np.concatenate([edges.src, edges.dst])
+    dst = np.concatenate([edges.dst, edges.src])
+    weight = None
+    if edges.weighted:
+        weight = np.concatenate([edges.weight, edges.weight])
+    return EdgeList(
+        num_vertices=edges.num_vertices, src=src, dst=dst, weight=weight
+    )
+
+
+def to_undirected(edges: EdgeList, dedup: bool = True) -> EdgeList:
+    """Symmetrize the graph; optionally collapse parallel edges.
+
+    With ``dedup`` the result contains each undirected edge exactly
+    twice (once per orientation, with *equal* weights — parallel edges
+    collapse to the minimum weight) and no self-loops, which is what the
+    undirected algorithms (BFS, WCC, MCST, MIS, SSSP) expect.
+    """
+    if not dedup:
+        return add_reverse_edges(edges)
+    lo = np.minimum(edges.src, edges.dst)
+    hi = np.maximum(edges.src, edges.dst)
+    proper = lo != hi  # drop self-loops
+    lo, hi = lo[proper], hi[proper]
+    key = lo * edges.num_vertices + hi
+    if edges.weighted:
+        weight = edges.weight[proper]
+        # First occurrence in (key, weight) order = min weight per pair.
+        order = np.lexsort((weight, key))
+        _unique, first = np.unique(key[order], return_index=True)
+        keep = order[first]
+        lo, hi, weight = lo[keep], hi[keep], weight[keep]
+        out_weight = np.concatenate([weight, weight])
+    else:
+        _unique, keep = np.unique(key, return_index=True)
+        lo, hi = lo[keep], hi[keep]
+        out_weight = None
+    return EdgeList(
+        num_vertices=edges.num_vertices,
+        src=np.concatenate([lo, hi]),
+        dst=np.concatenate([hi, lo]),
+        weight=out_weight,
+    )
+
+
+def permute_vertices(edges: EdgeList, seed: int = 0) -> EdgeList:
+    """Relabel vertices by a uniform random permutation."""
+    rng = np.random.default_rng(seed)
+    mapping = rng.permutation(edges.num_vertices)
+    return EdgeList(
+        num_vertices=edges.num_vertices,
+        src=mapping[edges.src],
+        dst=mapping[edges.dst],
+        weight=edges.weight.copy() if edges.weighted else None,
+    )

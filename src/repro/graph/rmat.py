@@ -1,0 +1,112 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos).
+
+The paper's synthetic workloads are RMAT graphs: *"a scale-n RMAT graph
+has 2^n vertices and 2^(n+4) edges"* (Section 8).  We use the standard
+Graph500 skew (a=0.57, b=0.19, c=0.19, d=0.05), which produces the
+heavy-tailed degree distribution responsible for the partition-level
+load imbalance that Chaos' work stealing corrects.
+
+Generation is fully vectorized: each of the ``scale`` recursion levels
+resolves one bit of the source and destination ids for every edge at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+#: Paper convention: edges per vertex in a scale-n RMAT graph (2^(n+4)/2^n).
+EDGE_FACTOR = 16
+
+
+@dataclass(frozen=True)
+class RmatParameters:
+    """Quadrant probabilities of the recursive matrix."""
+
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+    d: float = 0.05
+
+    def __post_init__(self):
+        total = self.a + self.b + self.c + self.d
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"RMAT probabilities must sum to 1, got {total}")
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise ValueError("RMAT probabilities must be non-negative")
+
+
+def rmat_edge_count(scale: int, edge_factor: int = EDGE_FACTOR) -> int:
+    """Number of edges in a scale-``scale`` RMAT graph."""
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    return edge_factor * (2**scale)
+
+
+def rmat_graph(
+    scale: int,
+    seed: int = 0,
+    edge_factor: int = EDGE_FACTOR,
+    params: Optional[RmatParameters] = None,
+    weighted: bool = False,
+    permute: bool = False,
+) -> EdgeList:
+    """Generate a scale-``scale`` RMAT graph (2^scale vertices).
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count.
+    seed:
+        Seed for the numpy PCG64 generator; generation is deterministic.
+    edge_factor:
+        Edges per vertex (paper default 16).
+    params:
+        Quadrant probabilities (Graph500 defaults).
+    weighted:
+        Attach uniform(0, 1] float weights (for SSSP / MCST / SpMV / BP).
+    permute:
+        Apply a random vertex-id permutation.  Raw R-MAT correlates
+        vertex id with degree, which — under Chaos' consecutive-range
+        partitioning — yields the per-partition load skew the paper's
+        work stealing corrects; the default keeps that skew.  Permuting
+        decorrelates id and degree (useful as an ablation).
+    """
+    if params is None:
+        params = RmatParameters()
+    rng = np.random.default_rng(seed)
+    num_vertices = 2**scale
+    num_edges = rmat_edge_count(scale, edge_factor)
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # Per-level quadrant thresholds: P(right half) for src bit, and
+    # conditional P(bottom half) for dst bit within each src-bit choice.
+    p_src_one = params.c + params.d
+    p_dst_one_given_src_zero = params.b / max(params.a + params.b, 1e-300)
+    p_dst_one_given_src_one = params.d / max(params.c + params.d, 1e-300)
+    for level in range(scale):
+        src_bit = rng.random(num_edges) < p_src_one
+        threshold = np.where(
+            src_bit, p_dst_one_given_src_one, p_dst_one_given_src_zero
+        )
+        dst_bit = rng.random(num_edges) < threshold
+        src = (src << 1) | src_bit.astype(np.int64)
+        dst = (dst << 1) | dst_bit.astype(np.int64)
+
+    if permute and num_vertices > 1:
+        mapping = rng.permutation(num_vertices)
+        src = mapping[src]
+        dst = mapping[dst]
+
+    weight = None
+    if weighted:
+        # Uniform on (0, 1] so zero-weight edges never arise (MCST ties).
+        weight = 1.0 - rng.random(num_edges)
+
+    return EdgeList(num_vertices=num_vertices, src=src, dst=dst, weight=weight)

@@ -1,0 +1,23 @@
+"""Network substrate: NICs, a full-bisection switch, and message transport.
+
+Chaos assumes a rack network in which *"machine-to-machine network
+bandwidth exceeds the bandwidth of a storage device and network switch
+bandwidth exceeds the aggregate bandwidth of all storage devices"*
+(Section 1).  This package models exactly the components that matter for
+that assumption: per-machine full-duplex NICs (the 40 GigE vs 1 GigE knob
+of Figure 12) and a non-blocking top-of-rack switch with a fixed
+propagation latency.
+"""
+
+from repro.net.topology import NetworkConfig, Nic, Switch, GIGE_1, GIGE_40
+from repro.net.transport import Message, Network
+
+__all__ = [
+    "GIGE_1",
+    "GIGE_40",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "Nic",
+    "Switch",
+]

@@ -1,0 +1,152 @@
+"""Message transport over the modelled rack network.
+
+The transport delivers opaque messages between machine endpoints,
+charging serialization time on the sender's NIC egress, the switch
+latency, and deserialization time on the receiver's NIC ingress.  Local
+(self-addressed) messages are delivered with zero network cost, matching
+the co-located computation/storage engine deployment of Section 7.
+
+Endpoints register a :class:`repro.sim.resources.Mailbox` per service
+name, so one machine can host several services (computation engine,
+storage engine, barrier coordinator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.net.topology import NetworkConfig, Nic, Switch
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.resources import Mailbox
+
+
+@dataclass
+class Message:
+    """A message in flight.
+
+    ``payload`` is arbitrary Python data (the functional engine ships
+    numpy arrays in it); ``size`` is the modelled wire size in bytes,
+    which is what the hardware model charges for.
+    """
+
+    src: int
+    dst: int
+    service: str
+    kind: str
+    size: int
+    payload: Any = None
+    send_time: float = 0.0
+
+
+class Network:
+    """The cluster fabric: one NIC per machine plus the switch."""
+
+    #: Fixed per-message protocol overhead in bytes (headers, framing).
+    MESSAGE_OVERHEAD = 64
+
+    def __init__(self, sim: Simulator, machines: int, config: NetworkConfig):
+        if machines < 1:
+            raise ValueError(f"need at least one machine, got {machines}")
+        self.sim = sim
+        self.machines = machines
+        self.config = config
+        self.switch = Switch(sim, config)
+        self.nics = [Nic(sim, machine, config) for machine in range(machines)]
+        self._mailboxes: Dict[Tuple[int, str], Mailbox] = {}
+
+    # -- service registry ----------------------------------------------
+
+    def register(self, machine: int, service: str) -> Mailbox:
+        """Create (or fetch) the mailbox for ``service`` on ``machine``."""
+        key = (machine, service)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = Mailbox(
+                self.sim, name=f"m{machine}.{service}"
+            )
+        return self._mailboxes[key]
+
+    def mailbox(self, machine: int, service: str) -> Mailbox:
+        key = (machine, service)
+        try:
+            return self._mailboxes[key]
+        except KeyError:
+            raise SimulationError(
+                f"no service {service!r} registered on machine {machine}"
+            ) from None
+
+    # -- sending ---------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        kind: str,
+        size: int,
+        payload: Any = None,
+    ) -> Event:
+        """Send a message; the returned event fires on *delivery*.
+
+        Delivery places the message into the destination mailbox.  The
+        sender does not block on delivery (fire and forget); callers that
+        need completion semantics can wait on the returned event.
+        """
+        if not 0 <= dst < self.machines:
+            raise SimulationError(f"invalid destination machine {dst}")
+        message = Message(
+            src=src,
+            dst=dst,
+            service=service,
+            kind=kind,
+            size=size,
+            payload=payload,
+            send_time=self.sim.now,
+        )
+        mailbox = self.mailbox(dst, service)
+        delivered = Event(self.sim, name=f"deliver.{kind}")
+
+        if src == dst:
+            # Local delivery: intra-process handoff, no network cost.
+            self.sim.schedule(0.0, self._deliver, mailbox, message, delivered)
+            return delivered
+
+        wire_size = size + self.MESSAGE_OVERHEAD
+        tx_done = self.nics[src].egress.service(wire_size)
+
+        def after_tx(_event: Event) -> None:
+            hop_latency = self.switch.forward(wire_size)
+            self.sim.schedule(hop_latency, self._receive, dst, wire_size,
+                              mailbox, message, delivered)
+
+        tx_done.subscribe(after_tx)
+        return delivered
+
+    def _receive(
+        self,
+        dst: int,
+        wire_size: int,
+        mailbox: Mailbox,
+        message: Message,
+        delivered: Event,
+    ) -> None:
+        rx_done = self.nics[dst].ingress.service(wire_size)
+        rx_done.subscribe(lambda _e: self._deliver(mailbox, message, delivered))
+
+    @staticmethod
+    def _deliver(mailbox: Mailbox, message: Message, delivered: Event) -> None:
+        mailbox.put(message)
+        delivered.trigger(message)
+
+    # -- accounting ------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total bytes that crossed the switch fabric."""
+        return self.switch.bytes_forwarded
+
+    def aggregate_nic_utilization(self, elapsed: float) -> float:
+        """Mean egress utilization over all NICs."""
+        if elapsed <= 0 or not self.nics:
+            return 0.0
+        total = sum(nic.egress.meter.utilization(elapsed) for nic in self.nics)
+        return total / len(self.nics)

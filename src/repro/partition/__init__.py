@@ -1,0 +1,23 @@
+"""Streaming partitions — the only pre-processing Chaos performs.
+
+A streaming partition is *"a set of vertices that fits in memory, all of
+their outgoing edges and all of their incoming updates"* (Section 3).
+Chaos chooses the number of partitions as the smallest multiple of the
+machine count such that each partition's vertex set fits in main memory,
+splits the vertex ids into consecutive ranges, and assigns every edge to
+the partition of its source vertex — one pass over the edge list.
+"""
+
+from repro.partition.streaming import (
+    PartitionLayout,
+    choose_partition_count,
+    partition_edges,
+    preprocess,
+)
+
+__all__ = [
+    "PartitionLayout",
+    "choose_partition_count",
+    "partition_edges",
+    "preprocess",
+]

@@ -1,0 +1,24 @@
+"""Performance models: activity profiles and capacity projections.
+
+Supports the paper-scale experiments that cannot be materialized
+(Section 9.3's RMAT-36, a trillion edges / 16 TB of input): workload
+*activity profiles* extracted from functional runs on small graphs drive
+phantom (model-mode) executions of the full engine at any scale.
+"""
+
+from repro.perf.capacity import CapacityProjection, project_capacity
+from repro.perf.profiles import (
+    ActivityProfile,
+    bfs_profile,
+    extract_profile,
+    fixed_profile,
+)
+
+__all__ = [
+    "ActivityProfile",
+    "CapacityProjection",
+    "bfs_profile",
+    "extract_profile",
+    "fixed_profile",
+    "project_capacity",
+]

@@ -1,0 +1,112 @@
+"""Closed-form runtime model: the back-of-envelope the paper reasons with.
+
+Chaos is designed so that the storage devices are the bottleneck and
+stay ~100% utilized (batching, Eq. 4) with near-perfect load balance
+(stealing).  Under those design goals, runtime has a closed form:
+
+    T = (bytes moved through storage) / (aggregate effective bandwidth)
+
+with the effective per-device bandwidth degraded by per-request latency
+at the configured chunk size (:func:`repro.store.fio.effective_bandwidth`)
+and the utilization factor ρ(m, k) of Eq. 4.
+
+:func:`predict_runtime` evaluates that form for a workload; the test
+suite checks the discrete-event simulator against it in its
+streaming-dominated regime — a strong end-to-end validation that the
+simulated protocol actually achieves what the paper's design arguments
+promise, and a fast planning tool for users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.batching import utilization
+from repro.core.config import ClusterConfig
+from repro.store.fio import effective_bandwidth
+
+
+@dataclass(frozen=True)
+class WorkloadVolumes:
+    """Byte volumes of one job, in storage-traffic terms."""
+
+    input_bytes: int  # unsorted edge list size
+    edge_bytes_per_pass: int  # edge set streamed per scatter
+    update_bytes_total: int  # updates written over the whole run
+    vertex_set_bytes: int  # one full vertex-value image
+    iterations: int
+
+    def storage_traffic(self, checkpointing: bool = False) -> int:
+        """Total bytes through the storage devices.
+
+        Pre-processing reads the input and writes the partitioned edge
+        sets; each iteration streams the edge set once; updates are
+        written once and read once; vertex sets are read per phase and
+        written back after gather (plus checkpoint copies).
+        """
+        preprocessing = 2 * self.input_bytes
+        edges = self.iterations * self.edge_bytes_per_pass
+        updates = 2 * self.update_bytes_total
+        vertex_images_per_iteration = 3 + (2 if checkpointing else 0)
+        vertices = (
+            self.iterations * vertex_images_per_iteration * self.vertex_set_bytes
+        )
+        return preprocessing + edges + updates + vertices
+
+
+def aggregate_effective_bandwidth(config: ClusterConfig) -> float:
+    """Cluster-wide storage bandwidth the design can actually deliver:
+    per-device effective rate at the chunk size, times machines, times
+    the utilization the batch factor sustains (Eq. 4)."""
+    per_device = effective_bandwidth(config.device, config.chunk_bytes)
+    rho = utilization(config.machines, config.batch_factor)
+    return per_device * config.machines * rho
+
+
+def predict_runtime(
+    volumes: WorkloadVolumes,
+    config: ClusterConfig,
+    checkpointing: Optional[bool] = None,
+) -> float:
+    """Predicted job runtime in seconds (storage-bound closed form)."""
+    if checkpointing is None:
+        checkpointing = config.checkpointing
+    traffic = volumes.storage_traffic(checkpointing=checkpointing)
+    return traffic / aggregate_effective_bandwidth(config)
+
+
+def volumes_for_pagerank(
+    num_vertices: int,
+    num_edges: int,
+    iterations: int,
+    edge_bytes: int = 8,
+    update_bytes: int = 8,
+    vertex_bytes: int = 8,
+) -> WorkloadVolumes:
+    """PR volumes: every edge emits one update every iteration."""
+    return WorkloadVolumes(
+        input_bytes=num_edges * edge_bytes,
+        edge_bytes_per_pass=num_edges * edge_bytes,
+        update_bytes_total=iterations * num_edges * update_bytes,
+        vertex_set_bytes=num_vertices * vertex_bytes,
+        iterations=iterations,
+    )
+
+
+def volumes_from_result(result, input_bytes: int, vertex_set_bytes: int):
+    """Derive volumes from a finished run's statistics (for validating
+    the simulator against the closed form on any algorithm)."""
+    edge_bytes_total = 0
+    update_bytes_total = 0
+    for stats in result.iteration_stats:
+        update_bytes_total += stats.update_bytes
+    iterations = max(1, result.iterations)
+    # Edge passes: every iteration streams the full edge set.
+    return WorkloadVolumes(
+        input_bytes=input_bytes,
+        edge_bytes_per_pass=input_bytes,
+        update_bytes_total=update_bytes_total,
+        vertex_set_bytes=vertex_set_bytes,
+        iterations=iterations,
+    )

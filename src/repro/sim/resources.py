@@ -1,0 +1,223 @@
+"""Queueing resources used to model hardware.
+
+All hardware in the reproduction — storage devices, NIC directions, CPU
+core banks — is modelled with two primitives:
+
+:class:`FifoServer`
+    A single-server FIFO queue with deterministic service times
+    (``latency + size / bandwidth``).  Because the queue discipline is
+    FIFO and service times are known on arrival, completion times are
+    computed analytically in O(1) per request instead of simulating the
+    queue, which keeps large simulations cheap.  This matches the paper's
+    storage-engine behaviour: *"A storage engine always serves a request
+    for a chunk in its entirety before serving the next request"*
+    (Section 6.2).
+
+:class:`CoreBank`
+    A ``c``-server FIFO queue (c CPU cores): each job runs on the
+    earliest-free core.
+
+Both meters accumulate busy time so experiments can report utilization
+(Figure 14 / Figure 16 analyses).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class UtilizationMeter:
+    """Tracks busy time and bytes served for a resource."""
+
+    __slots__ = ("busy_time", "bytes_served", "requests")
+
+    def __init__(self):
+        self.busy_time = 0.0
+        self.bytes_served = 0
+        self.requests = 0
+
+    def record(self, service_time: float, size: float) -> None:
+        self.busy_time += service_time
+        self.bytes_served += int(size)
+        self.requests += 1
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def throughput(self, elapsed: float) -> float:
+        """Average bytes/second over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_served / elapsed
+
+
+class FifoServer:
+    """Single-server FIFO queue with deterministic service times.
+
+    ``service(size)`` returns an event firing when the request completes.
+    Work conservation and FIFO order let us fold the whole queue into a
+    single ``busy_until`` timestamp.
+    """
+
+    __slots__ = ("sim", "name", "bandwidth", "latency", "_busy_until", "meter")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "",
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._busy_until = 0.0
+        self.meter = UtilizationMeter()
+
+    def service_time(self, size: float) -> float:
+        return self.latency + size / self.bandwidth
+
+    def service(self, size: float, value: Any = None) -> Event:
+        """Enqueue a request of ``size`` bytes; event fires at completion."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        start = max(self.sim.now, self._busy_until)
+        duration = self.service_time(size)
+        finish = start + duration
+        self._busy_until = finish
+        self.meter.record(duration, size)
+        event = Event(self.sim, name=f"{self.name}.service")
+        self.sim.schedule_at(finish, event.trigger, value)
+        return event
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def queue_delay(self) -> float:
+        """Time a request arriving now would wait before service starts."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+
+class CoreBank:
+    """A bank of ``cores`` identical CPU cores with FIFO dispatch.
+
+    Each ``execute(duration)`` request runs on the earliest-free core.
+    """
+
+    __slots__ = ("sim", "name", "cores", "_free_at", "meter")
+
+    def __init__(self, sim: Simulator, cores: int, name: str = ""):
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        self.sim = sim
+        self.name = name
+        self.cores = int(cores)
+        self._free_at: List[float] = [0.0] * self.cores
+        heapq.heapify(self._free_at)
+        self.meter = UtilizationMeter()
+
+    def execute(self, duration: float, value: Any = None) -> Event:
+        """Run a job of ``duration`` CPU-seconds on the earliest-free core."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        free = heapq.heappop(self._free_at)
+        start = max(self.sim.now, free)
+        finish = start + duration
+        heapq.heappush(self._free_at, finish)
+        self.meter.record(duration, 0)
+        event = Event(self.sim, name=f"{self.name}.execute")
+        self.sim.schedule_at(finish, event.trigger, value)
+        return event
+
+    def earliest_free(self) -> float:
+        return self._free_at[0]
+
+
+class Semaphore:
+    """Counting semaphore for processes (used for bounded request windows)."""
+
+    __slots__ = ("sim", "capacity", "_available", "_waiters", "name")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    def acquire(self) -> Event:
+        event = Event(self.sim, name=f"{self.name}.acquire")
+        if self._available > 0:
+            self._available -= 1
+            event.trigger()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.trigger()
+        else:
+            self._available += 1
+            if self._available > self.capacity:
+                raise SimulationError(f"semaphore {self.name} over-released")
+
+
+class Mailbox:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an
+    item is available (immediately if the mailbox is non-empty).
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            event.trigger(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Tuple[bool, Optional[Any]]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

@@ -1,0 +1,41 @@
+"""Storage substrate: devices, chunks, storage engines, placement.
+
+The Chaos storage sub-system (Section 6) keeps three data structures per
+streaming partition — the vertex set, the edge set, and the update set —
+spread *uniformly randomly* over the storage engines of the cluster in
+chunks large enough to appear sequential (4 MB in the paper).  A storage
+engine serves a chunk request in its entirety before the next request,
+returns *any* unprocessed chunk for the requested partition, and keeps
+the read-once-per-iteration bookkeeping so multiple computation engines
+can share a partition without synchronizing.
+"""
+
+from repro.store.chunk import Chunk, ChunkKind
+from repro.store.device import HDD_RAID0, SSD_480GB, DeviceSpec
+from repro.store.engine import StorageEngine
+from repro.store.memstore import ChunkSet, MemoryChunkStore
+from repro.store.filestore import FileChunkStore
+from repro.store.fio import FioResult, effective_bandwidth, measure_sequential_bandwidth
+from repro.store.placement import (
+    CentralizedDirectory,
+    HashedVertexPlacement,
+    RandomPlacement,
+)
+
+__all__ = [
+    "CentralizedDirectory",
+    "Chunk",
+    "ChunkKind",
+    "ChunkSet",
+    "DeviceSpec",
+    "FileChunkStore",
+    "FioResult",
+    "effective_bandwidth",
+    "measure_sequential_bandwidth",
+    "HDD_RAID0",
+    "HashedVertexPlacement",
+    "MemoryChunkStore",
+    "RandomPlacement",
+    "SSD_480GB",
+    "StorageEngine",
+]

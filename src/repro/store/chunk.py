@@ -1,0 +1,69 @@
+"""Chunks: the unit of placement, access and stealing.
+
+*"All data structures are maintained and accessed in units called
+chunks.  The size of a chunk is chosen large enough so that access to
+storage appears sequential, but small enough so that they can serve as
+units of distribution ...  Chunks are also the unit of stealing."*
+(Section 6.2).  The paper uses 4 MB chunks (Section 7).
+
+A chunk couples a *modelled* wire/storage size (what the hardware model
+charges for) with an optional *payload* (real numpy data in functional
+runs, ``None`` for phantom chunks in model-mode capacity runs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+#: The paper's chunk size: a 4 MB block in the per-partition file.
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+class ChunkKind(enum.Enum):
+    """The three stored data structures of a streaming partition."""
+
+    EDGES = "edges"
+    UPDATES = "updates"
+    VERTICES = "vertices"
+
+
+@dataclass
+class Chunk:
+    """One chunk of one partition's edge, update or vertex set."""
+
+    partition: int
+    kind: ChunkKind
+    size: int
+    payload: Any = None
+    #: For vertex chunks only: position within the partition's vertex
+    #: set, used by the hashed placement (Section 6.4).
+    index: int = 0
+    #: Number of records (edges / updates / vertices) the chunk holds.
+    #: Drives the modelled CPU cost of processing it.
+    records: int = 0
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"chunk size must be non-negative, got {self.size}")
+        if self.records < 0:
+            raise ValueError(f"records must be non-negative, got {self.records}")
+
+    @property
+    def is_phantom(self) -> bool:
+        """True when the chunk models volume only (no real data)."""
+        return self.payload is None
+
+
+def split_into_chunks(total_bytes: int, chunk_bytes: int) -> list:
+    """Sizes of the chunks covering ``total_bytes`` (last may be short)."""
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    full, rest = divmod(total_bytes, chunk_bytes)
+    sizes = [chunk_bytes] * full
+    if rest:
+        sizes.append(rest)
+    return sizes

@@ -1,0 +1,242 @@
+"""The per-machine storage engine.
+
+Each machine runs one storage engine (Section 4) that owns the local
+storage device and serves chunk requests from any computation engine in
+the cluster.  Requests are served through a FIFO device queue — *"a
+storage engine always serves a request for a chunk in its entirety
+before serving the next request"* (Section 6.2) — and the engine keeps
+the read-once-per-iteration bookkeeping that lets multiple computation
+engines share a streaming partition without synchronizing (Section 5.3).
+
+Protocol (service name ``"storage"``):
+
+``read(partition, kind)``
+    Reply with any unprocessed chunk, or an exhausted marker.
+``write(chunk)``
+    Append an edge/update chunk; reply with an ack.
+``vread(partition, index)`` / ``vwrite(chunk)``
+    Read / overwrite one vertex chunk at its hashed location.
+``delete(partition, kind)``
+    Drop a chunk set (end-of-gather update deletion); no reply.
+
+Replies carry the original ``request_id`` so computation engines can
+keep many requests outstanding (the batch window of Section 6.5).
+"""
+
+from __future__ import annotations
+
+from repro.net.transport import Network
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import FifoServer
+from repro.store.chunk import Chunk, ChunkKind
+from repro.store.device import DeviceSpec
+
+SERVICE = "storage"
+
+#: Wire size of a request / control reply (headers and ids only).
+CONTROL_BYTES = 32
+#: Wire size of an "exhausted" reply.
+EXHAUSTED_BYTES = 16
+
+
+class StorageEngine:
+    """One machine's storage engine: device + chunk store + dispatcher."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        machine: int,
+        device: DeviceSpec,
+        backend,
+    ):
+        self.sim = sim
+        self.network = network
+        self.machine = machine
+        self.device_spec = device
+        self.device = FifoServer(
+            sim,
+            bandwidth=device.bandwidth,
+            latency=device.latency,
+            name=f"m{machine}.{device.name}",
+        )
+        self.backend = backend
+        self._mailbox = network.register(machine, SERVICE)
+        self.reads_served = 0
+        self.writes_served = 0
+        self.exhausted_replies = 0
+        #: Chunk reads served, by data-structure kind (protocol audits).
+        self.reads_by_kind = {kind: 0 for kind in ChunkKind}
+        sim.process(self._dispatch(), name=f"storage{machine}")
+
+    # -- local (same-machine, zero-cost) queries -------------------------
+
+    def remaining_bytes(self, partition: int, kind: ChunkKind) -> int:
+        """Unprocessed bytes for (partition, kind) on this engine.
+
+        The master multiplies this by the machine count to estimate the
+        cluster-wide remaining data D for the steal criterion
+        (Section 5.4) — a *local* decision, no messages needed.
+        """
+        return self.backend.remaining_bytes(partition, kind)
+
+    def reset_cursors(self, kind: ChunkKind) -> None:
+        """Start of a phase: all chunks of ``kind`` become unprocessed."""
+        self.backend.reset_cursors(kind)
+
+    # -- direct (pre-processing time) stores ------------------------------
+
+    def preload_chunk(self, chunk: Chunk) -> None:
+        """Store a chunk without simulated I/O (pre-processing loads)."""
+        if chunk.kind is ChunkKind.VERTICES:
+            self.backend.put_vertex_chunk(chunk)
+        else:
+            self.backend.append_chunk(chunk)
+
+    # -- message dispatch --------------------------------------------------
+
+    def _dispatch(self):
+        while True:
+            message = yield self._mailbox.get()
+            handler = getattr(self, f"_handle_{message.kind}", None)
+            if handler is None:
+                raise RuntimeError(
+                    f"storage engine {self.machine}: unknown message "
+                    f"kind {message.kind!r}"
+                )
+            handler(message)
+
+    def _reply(
+        self,
+        requester: int,
+        reply_service: str,
+        kind: str,
+        size: int,
+        payload,
+    ) -> None:
+        self.network.send(
+            src=self.machine,
+            dst=requester,
+            service=reply_service,
+            kind=kind,
+            size=size,
+            payload=payload,
+        )
+
+    def _handle_read(self, message) -> None:
+        request_id, requester, reply_service, partition, kind = message.payload
+        chunk = self.backend.fetch_any(partition, kind)
+        if chunk is None:
+            self.exhausted_replies += 1
+            self._reply(
+                requester,
+                reply_service,
+                "read_reply",
+                EXHAUSTED_BYTES,
+                (request_id, None),
+            )
+            return
+        self.reads_served += 1
+        self.reads_by_kind[kind] += 1
+        done = self.device.service(chunk.size)
+        done.subscribe(
+            lambda _e: self._reply(
+                requester,
+                reply_service,
+                "read_reply",
+                chunk.size,
+                (request_id, chunk),
+            )
+        )
+
+    def _handle_write(self, message) -> None:
+        request_id, requester, reply_service, chunk = message.payload
+        self.writes_served += 1
+        done = self.device.service(chunk.size)
+
+        def complete(_event: Event) -> None:
+            self.backend.append_chunk(chunk)
+            self._reply(
+                requester,
+                reply_service,
+                "write_ack",
+                CONTROL_BYTES,
+                (request_id, None),
+            )
+
+        done.subscribe(complete)
+
+    def _handle_vread(self, message) -> None:
+        request_id, requester, reply_service, partition, index = message.payload
+        chunk = self.backend.get_vertex_chunk(partition, index)
+        if chunk is None:
+            self._reply(
+                requester,
+                reply_service,
+                "vread_reply",
+                EXHAUSTED_BYTES,
+                (request_id, None),
+            )
+            return
+        self.reads_served += 1
+        self.reads_by_kind[ChunkKind.VERTICES] += 1
+        done = self.device.service(chunk.size)
+        done.subscribe(
+            lambda _e: self._reply(
+                requester,
+                reply_service,
+                "vread_reply",
+                chunk.size,
+                (request_id, chunk),
+            )
+        )
+
+    def _handle_vwrite(self, message) -> None:
+        request_id, requester, reply_service, chunk = message.payload
+        self.writes_served += 1
+        done = self.device.service(chunk.size)
+
+        def complete(_event: Event) -> None:
+            self.backend.put_vertex_chunk(chunk)
+            self._reply(
+                requester,
+                reply_service,
+                "write_ack",
+                CONTROL_BYTES,
+                (request_id, None),
+            )
+
+        done.subscribe(complete)
+
+    def _handle_pwrite(self, message) -> None:
+        """Pre-processing write: charge device time without storing.
+
+        The runtime pre-places the partitioned edge chunks (same RNG
+        stream); this message accounts for the write I/O of the one-pass
+        pre-processing split.
+        """
+        request_id, requester, reply_service, size = message.payload
+        self.writes_served += 1
+        done = self.device.service(size)
+        done.subscribe(
+            lambda _e: self._reply(
+                requester,
+                reply_service,
+                "write_ack",
+                CONTROL_BYTES,
+                (request_id, None),
+            )
+        )
+
+    def _handle_delete(self, message) -> None:
+        partition, kind = message.payload
+        # Deletion is a metadata operation: no device time.
+        self.backend.delete(partition, kind)
+
+    # -- statistics ---------------------------------------------------------
+
+    def bytes_served(self) -> int:
+        return self.device.meter.bytes_served
+
+    def utilization(self, elapsed: float) -> float:
+        return self.device.meter.utilization(elapsed)

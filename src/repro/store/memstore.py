@@ -1,0 +1,142 @@
+"""In-memory chunk store: bookkeeping shared by all storage backends.
+
+A storage engine keeps, per (partition, kind), an ordered set of chunks
+plus a consumption cursor.  The cursor is the whole of the paper's
+read-once machinery: *"a storage engine keeps track of which chunks have
+already been consumed during the current iteration"* (Section 6.3) —
+implemented in the C++ system as a file pointer that is reset at the end
+of each iteration (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.chunk import Chunk, ChunkKind
+
+
+class ChunkSet:
+    """Ordered chunks of one (partition, kind) with a read-once cursor."""
+
+    __slots__ = ("chunks", "cursor")
+
+    def __init__(self):
+        self.chunks: List[Chunk] = []
+        self.cursor = 0
+
+    def add(self, chunk: Chunk) -> None:
+        self.chunks.append(chunk)
+
+    def next_unprocessed(self) -> Optional[Chunk]:
+        """Return (and consume) any unprocessed chunk, or None if exhausted.
+
+        We hand chunks out in arrival order; the paper allows the engine
+        to return *any* unprocessed chunk, and arrival order maximizes
+        sequentiality.
+        """
+        if self.cursor >= len(self.chunks):
+            return None
+        chunk = self.chunks[self.cursor]
+        self.cursor += 1
+        return chunk
+
+    def reset_cursor(self) -> None:
+        """Start a new iteration: every chunk becomes unprocessed again."""
+        self.cursor = 0
+
+    def clear(self) -> None:
+        self.chunks.clear()
+        self.cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor >= len(self.chunks)
+
+    def remaining_bytes(self) -> int:
+        return sum(c.size for c in self.chunks[self.cursor :])
+
+    def total_bytes(self) -> int:
+        return sum(c.size for c in self.chunks)
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+
+class MemoryChunkStore:
+    """Default backend: chunks (and their payloads) live in memory.
+
+    The simulated device model provides the timing; this class provides
+    the data plane and the read-once bookkeeping.
+    """
+
+    def __init__(self):
+        self._sets: Dict[Tuple[int, ChunkKind], ChunkSet] = {}
+        self._vertex_chunks: Dict[Tuple[int, int], Chunk] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- edge / update chunks -----------------------------------------
+
+    def _chunk_set(self, partition: int, kind: ChunkKind) -> ChunkSet:
+        key = (partition, kind)
+        if key not in self._sets:
+            self._sets[key] = ChunkSet()
+        return self._sets[key]
+
+    def append_chunk(self, chunk: Chunk) -> None:
+        if chunk.kind is ChunkKind.VERTICES:
+            raise ValueError("vertex chunks use put_vertex_chunk")
+        self._chunk_set(chunk.partition, chunk.kind).add(chunk)
+        self.bytes_written += chunk.size
+
+    def fetch_any(self, partition: int, kind: ChunkKind) -> Optional[Chunk]:
+        chunk = self._chunk_set(partition, kind).next_unprocessed()
+        if chunk is not None:
+            self.bytes_read += chunk.size
+        return chunk
+
+    def remaining_bytes(self, partition: int, kind: ChunkKind) -> int:
+        key = (partition, kind)
+        if key not in self._sets:
+            return 0
+        return self._sets[key].remaining_bytes()
+
+    def stored_bytes(self, partition: int, kind: ChunkKind) -> int:
+        key = (partition, kind)
+        if key not in self._sets:
+            return 0
+        return self._sets[key].total_bytes()
+
+    def reset_cursors(self, kind: ChunkKind) -> None:
+        for (_partition, k), chunk_set in self._sets.items():
+            if k is kind:
+                chunk_set.reset_cursor()
+
+    def delete(self, partition: int, kind: ChunkKind) -> None:
+        key = (partition, kind)
+        if key in self._sets:
+            self._sets[key].clear()
+
+    # -- vertex chunks --------------------------------------------------
+
+    def put_vertex_chunk(self, chunk: Chunk) -> None:
+        if chunk.kind is not ChunkKind.VERTICES:
+            raise ValueError("put_vertex_chunk requires a vertex chunk")
+        self._vertex_chunks[(chunk.partition, chunk.index)] = chunk
+        self.bytes_written += chunk.size
+
+    def get_vertex_chunk(self, partition: int, index: int) -> Optional[Chunk]:
+        chunk = self._vertex_chunks.get((partition, index))
+        if chunk is not None:
+            self.bytes_read += chunk.size
+        return chunk
+
+    def vertex_chunk_count(self, partition: int) -> int:
+        return sum(1 for (p, _i) in self._vertex_chunks if p == partition)
+
+    # -- statistics ------------------------------------------------------
+
+    def total_stored_bytes(self) -> int:
+        data = sum(s.total_bytes() for s in self._sets.values())
+        vertices = sum(c.size for c in self._vertex_chunks.values())
+        return data + vertices

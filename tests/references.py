@@ -1,0 +1,133 @@
+"""Reference implementations used to validate the Chaos engines.
+
+Built on networkx / scipy / plain numpy — entirely independent of the
+repro engine code paths.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+from repro.graph.edgelist import EdgeList
+
+
+def nx_graph(edges: EdgeList) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(edges.num_vertices))
+    if edges.weighted:
+        graph.add_weighted_edges_from(zip(edges.src, edges.dst, edges.weight))
+    else:
+        graph.add_edges_from(zip(edges.src, edges.dst))
+    return graph
+
+
+def nx_digraph(edges: EdgeList) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(edges.num_vertices))
+    graph.add_edges_from(zip(edges.src, edges.dst))
+    return graph
+
+
+def reference_bfs_distances(edges: EdgeList, root: int) -> np.ndarray:
+    graph = nx_graph(edges)
+    lengths = nx.single_source_shortest_path_length(graph, root)
+    result = np.full(edges.num_vertices, -1, dtype=np.int64)
+    for vertex, distance in lengths.items():
+        result[vertex] = distance
+    return result
+
+
+def reference_component_labels(edges: EdgeList) -> np.ndarray:
+    graph = nx_graph(edges)
+    labels = np.arange(edges.num_vertices, dtype=np.int64)
+    for component in nx.connected_components(graph):
+        smallest = min(component)
+        for vertex in component:
+            labels[vertex] = smallest
+    return labels
+
+
+def reference_sssp_distances(edges: EdgeList, root: int) -> np.ndarray:
+    graph = nx_graph(edges)
+    lengths = nx.single_source_dijkstra_path_length(graph, root)
+    result = np.full(edges.num_vertices, np.inf)
+    for vertex, distance in lengths.items():
+        result[vertex] = distance
+    return result
+
+
+def reference_mst_weight(edges: EdgeList) -> float:
+    graph = nx_graph(edges)
+    return float(
+        sum(d["weight"] for *_pair, d in nx.minimum_spanning_edges(graph, data=True))
+    )
+
+
+def reference_scc_ids(edges: EdgeList) -> np.ndarray:
+    graph = nx_digraph(edges)
+    result = np.full(edges.num_vertices, -1, dtype=np.int64)
+    for component in nx.strongly_connected_components(graph):
+        largest = max(component)
+        for vertex in component:
+            result[vertex] = largest
+    return result
+
+
+def reference_pagerank(
+    edges: EdgeList, iterations: int, damping: float = 0.85
+) -> np.ndarray:
+    """The paper's (non-normalized, leaking) power iteration."""
+    degree = np.bincount(edges.src, minlength=edges.num_vertices).astype(float)
+    safe_degree = np.where(degree > 0, degree, 1.0)
+    rank = np.ones(edges.num_vertices)
+    for _ in range(iterations):
+        contribution = np.zeros(edges.num_vertices)
+        np.add.at(
+            contribution, edges.dst, rank[edges.src] / safe_degree[edges.src]
+        )
+        rank = (1.0 - damping) + damping * contribution
+    return rank
+
+
+def reference_spmv(edges: EdgeList, x: np.ndarray) -> np.ndarray:
+    values = edges.weight if edges.weighted else np.ones(edges.num_edges)
+    matrix = sparse.coo_matrix(
+        (values, (edges.dst, edges.src)),
+        shape=(edges.num_vertices, edges.num_vertices),
+    ).tocsr()
+    return matrix @ x
+
+
+def reference_bp_beliefs(
+    edges: EdgeList,
+    iterations: int,
+    coupling: float = 0.5,
+    damping: float = 0.5,
+    prior_seed: int = 0,
+) -> np.ndarray:
+    rng = np.random.default_rng(prior_seed)
+    prior = rng.normal(0.0, 1.0, size=edges.num_vertices)
+    belief = prior.copy()
+    weight = edges.weight if edges.weighted else None
+    for _ in range(iterations):
+        message = 2.0 * np.arctanh(np.tanh(coupling) * np.tanh(belief / 2.0))
+        contributions = message[edges.src]
+        if weight is not None:
+            contributions = contributions * weight
+        inbox = np.zeros(edges.num_vertices)
+        np.add.at(inbox, edges.dst, contributions)
+        belief = (1.0 - damping) * belief + damping * (prior + inbox)
+    return belief
+
+
+def reference_conductance(edges: EdgeList, split_fraction: float = 0.5) -> float:
+    threshold = int(edges.num_vertices * split_fraction)
+    side = np.arange(edges.num_vertices) >= threshold
+    crossing = int((side[edges.src] != side[edges.dst]).sum())
+    degree = np.bincount(edges.src, minlength=edges.num_vertices)
+    volume_s = degree[~side].sum()
+    volume_t = degree[side].sum()
+    denominator = min(volume_s, volume_t)
+    return crossing / denominator if denominator else 0.0

@@ -1,0 +1,233 @@
+"""Functional correctness of all ten algorithms on the Chaos runtime,
+validated against independent reference implementations (networkx,
+scipy, plain numpy) across cluster sizes."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    MIS,
+    SSSP,
+    WCC,
+    BeliefPropagation,
+    Conductance,
+    PageRank,
+    SpMV,
+    run_mcst,
+    run_scc,
+)
+from repro.core.runtime import run_algorithm
+from repro.graph import rmat_graph, to_undirected
+
+from tests.conftest import fast_config
+from tests.references import (
+    reference_bfs_distances,
+    reference_bp_beliefs,
+    reference_component_labels,
+    reference_conductance,
+    reference_mst_weight,
+    reference_pagerank,
+    reference_scc_ids,
+    reference_spmv,
+    reference_sssp_distances,
+)
+
+MACHINE_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def directed():
+    return rmat_graph(8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def weighted_directed():
+    return rmat_graph(8, seed=11, weighted=True)
+
+
+@pytest.fixture(scope="module")
+def undirected(weighted_directed):
+    return to_undirected(weighted_directed)
+
+
+@pytest.mark.parametrize("machines", MACHINE_COUNTS)
+class TestAcrossClusterSizes:
+    """Every algorithm must produce identical results on any cluster size."""
+
+    def test_bfs(self, undirected, machines):
+        result = run_algorithm(BFS(root=0), undirected, fast_config(machines))
+        expected = reference_bfs_distances(undirected, root=0)
+        assert np.array_equal(result.values["distance"], expected)
+
+    def test_bfs_parents_are_valid(self, undirected, machines):
+        result = run_algorithm(BFS(root=0), undirected, fast_config(machines))
+        distance = result.values["distance"]
+        parent = result.values["parent"]
+        edge_set = set(zip(undirected.src, undirected.dst))
+        for vertex in range(undirected.num_vertices):
+            if distance[vertex] > 0:
+                assert (parent[vertex], vertex) in edge_set
+                assert distance[parent[vertex]] == distance[vertex] - 1
+
+    def test_wcc(self, undirected, machines):
+        result = run_algorithm(WCC(), undirected, fast_config(machines))
+        expected = reference_component_labels(undirected)
+        assert np.array_equal(result.values["label"], expected)
+
+    def test_sssp(self, undirected, machines):
+        result = run_algorithm(SSSP(root=0), undirected, fast_config(machines))
+        expected = reference_sssp_distances(undirected, root=0)
+        assert np.allclose(result.values["distance"], expected)
+
+    def test_mis_is_independent_and_maximal(self, undirected, machines):
+        result = run_algorithm(MIS(), undirected, fast_config(machines))
+        status = result.values["status"]
+        in_set = status == 1
+        assert (status != 0).all(), "every vertex must be decided"
+        # Independence: no edge inside the set.
+        assert not (in_set[undirected.src] & in_set[undirected.dst]).any()
+        # Maximality: every excluded vertex has an in-set neighbour.
+        neighbour_in_set = np.zeros(undirected.num_vertices, dtype=bool)
+        neighbour_in_set[undirected.dst[in_set[undirected.src]]] = True
+        excluded = status == 2
+        assert (neighbour_in_set[excluded]).all()
+
+    def test_pagerank(self, directed, machines):
+        result = run_algorithm(
+            PageRank(iterations=5), directed, fast_config(machines)
+        )
+        expected = reference_pagerank(directed, iterations=5)
+        assert np.allclose(result.values["rank"], expected)
+
+    def test_mcst(self, undirected, machines):
+        result = run_mcst(undirected, fast_config(machines))
+        assert result.values["mst_weight"] == pytest.approx(
+            reference_mst_weight(undirected)
+        )
+
+    def test_scc(self, directed, machines):
+        result = run_scc(directed, fast_config(machines))
+        assert np.array_equal(result.values["scc"], reference_scc_ids(directed))
+
+    def test_conductance(self, directed, machines):
+        algorithm = Conductance()
+        result = run_algorithm(algorithm, directed, fast_config(machines))
+        measured = algorithm.conductance_from_values(result.values)
+        assert measured == pytest.approx(reference_conductance(directed))
+
+    def test_spmv(self, weighted_directed, machines):
+        x = np.random.default_rng(3).random(weighted_directed.num_vertices)
+        result = run_algorithm(SpMV(x=x), weighted_directed, fast_config(machines))
+        assert np.allclose(
+            result.values["y"], reference_spmv(weighted_directed, x)
+        )
+
+    def test_bp(self, weighted_directed, machines):
+        result = run_algorithm(
+            BeliefPropagation(iterations=4), weighted_directed, fast_config(machines)
+        )
+        expected = reference_bp_beliefs(weighted_directed, iterations=4)
+        assert np.allclose(result.values["belief"], expected)
+
+
+class TestAlgorithmEdgeCases:
+    def test_bfs_from_isolated_root(self):
+        graph = rmat_graph(6, seed=1)
+        undirected = to_undirected(graph)
+        degree = np.bincount(undirected.src, minlength=undirected.num_vertices)
+        isolated = int(np.argmin(degree))
+        if degree[isolated] > 0:
+            pytest.skip("no isolated vertex in this graph")
+        result = run_algorithm(BFS(root=isolated), undirected, fast_config(2))
+        distance = result.values["distance"]
+        assert distance[isolated] == 0
+        assert (distance[np.arange(len(distance)) != isolated] == -1).all()
+
+    def test_bfs_invalid_root_rejected(self, undirected):
+        with pytest.raises(ValueError):
+            run_algorithm(BFS(root=10**9), undirected, fast_config(1))
+
+    def test_sssp_requires_weights(self, directed):
+        with pytest.raises(ValueError, match="weight"):
+            run_algorithm(SSSP(root=0), directed, fast_config(1))
+
+    def test_mcst_requires_weights(self, directed):
+        with pytest.raises(ValueError, match="weight"):
+            run_mcst(directed, fast_config(1))
+
+    def test_pagerank_ranks_hub_highest(self):
+        """A star graph's centre must dominate the ranking."""
+        from repro.graph.edgelist import EdgeList
+
+        n = 50
+        spokes = np.arange(1, n)
+        graph = EdgeList(
+            num_vertices=n,
+            src=np.concatenate([spokes, np.zeros(0, dtype=np.int64)]),
+            dst=np.concatenate([np.zeros(n - 1, dtype=np.int64)]),
+        )
+        result = run_algorithm(PageRank(iterations=10), graph, fast_config(2))
+        rank = result.values["rank"]
+        assert rank[0] == rank.max()
+
+    def test_wcc_on_disconnected_pairs(self):
+        from repro.graph.edgelist import EdgeList
+
+        graph = EdgeList(
+            num_vertices=6, src=[0, 1, 2, 3, 4, 5], dst=[1, 0, 3, 2, 5, 4]
+        )
+        result = run_algorithm(WCC(), graph, fast_config(2))
+        assert list(result.values["label"]) == [0, 0, 2, 2, 4, 4]
+
+    def test_scc_on_a_cycle(self):
+        from repro.graph.edgelist import EdgeList
+
+        n = 7
+        graph = EdgeList(
+            num_vertices=n,
+            src=np.arange(n),
+            dst=(np.arange(n) + 1) % n,
+        )
+        result = run_scc(graph, fast_config(2))
+        assert (result.values["scc"] == n - 1).all()
+
+    def test_scc_on_a_dag_is_singletons(self):
+        from repro.graph.edgelist import EdgeList
+
+        graph = EdgeList(num_vertices=5, src=[0, 1, 2, 3], dst=[1, 2, 3, 4])
+        result = run_scc(graph, fast_config(2))
+        assert list(result.values["scc"]) == [0, 1, 2, 3, 4]
+
+    def test_mcst_on_known_graph(self):
+        """Hand-checked MST: square with diagonal."""
+        from repro.graph.edgelist import EdgeList
+
+        src = [0, 1, 2, 3, 0]
+        dst = [1, 2, 3, 0, 2]
+        weight = [1.0, 2.0, 3.0, 4.0, 2.5]
+        graph = to_undirected(
+            EdgeList(num_vertices=4, src=src, dst=dst, weight=weight)
+        )
+        result = run_mcst(graph, fast_config(2))
+        # MST = {0-1 (1), 1-2 (2), 2-3 (3)}: the 2.5 diagonal cannot
+        # replace the only cheap connection to vertex 3.
+        assert result.values["mst_weight"] == pytest.approx(1.0 + 2.0 + 3.0)
+        assert result.values["tree_edges"] == 3
+
+    def test_spmv_unweighted_uses_adjacency(self, directed):
+        x = np.ones(directed.num_vertices)
+        result = run_algorithm(SpMV(x=x), directed, fast_config(1))
+        in_degree = np.bincount(directed.dst, minlength=directed.num_vertices)
+        assert np.allclose(result.values["y"], in_degree)
+
+    def test_empty_graph_terminates(self):
+        from repro.graph.edgelist import EdgeList
+
+        graph = EdgeList(
+            num_vertices=8,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+        )
+        result = run_algorithm(WCC(), graph, fast_config(2))
+        assert np.array_equal(result.values["label"], np.arange(8))

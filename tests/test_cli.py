@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import read_edges
+
+
+class TestGenerate:
+    def test_rmat_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        assert main(["generate", "--scale", "8", "--out", out]) == 0
+        graph = read_edges(out, 256, weighted=False)
+        assert graph.num_edges == 4096
+        assert "wrote" in capsys.readouterr().out
+
+    def test_weighted_rmat(self, tmp_path):
+        out = str(tmp_path / "g.bin")
+        main(["generate", "--scale", "7", "--weighted", "--out", out])
+        graph = read_edges(out, 128, weighted=True)
+        assert graph.weighted
+
+    def test_web_graph(self, tmp_path):
+        out = str(tmp_path / "web.bin")
+        main(["generate", "--kind", "web", "--pages", "500", "--out", out])
+        graph = read_edges(out, 500, weighted=False)
+        assert graph.num_edges > 0
+
+
+class TestRun:
+    def _run(self, capsys, *extra):
+        code = main(
+            [
+                "run",
+                "--scale",
+                "8",
+                "--machines",
+                "2",
+                "--chunk-kb",
+                "4",
+                *extra,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_pagerank(self, capsys):
+        out = self._run(capsys, "--algorithm", "PR", "--iterations", "3")
+        assert "PR: m=2" in out
+        assert "breakdown" in out
+
+    def test_bfs_defaults_root_to_hub(self, capsys):
+        out = self._run(capsys, "--algorithm", "BFS")
+        assert "BFS: m=2" in out
+
+    def test_sssp_auto_weights(self, capsys):
+        out = self._run(capsys, "--algorithm", "SSSP")
+        assert "SSSP" in out
+
+    def test_mcst_driver(self, capsys):
+        out = self._run(capsys, "--algorithm", "MCST")
+        assert "MCST" in out and "rounds" in out
+
+    def test_scc_driver(self, capsys):
+        out = self._run(capsys, "--algorithm", "SCC")
+        assert "SCC" in out
+
+    def test_stealing_and_checkpoint_flags(self, capsys):
+        out = self._run(
+            capsys,
+            "--algorithm",
+            "PR",
+            "--alpha",
+            "0",
+            "--checkpoint",
+        )
+        assert "0 accepted" in out
+
+    def test_run_from_file(self, tmp_path, capsys):
+        graph_path = str(tmp_path / "in.bin")
+        main(["generate", "--scale", "8", "--out", graph_path])
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                "WCC",
+                "--input",
+                graph_path,
+                "--vertices",
+                "256",
+                "--machines",
+                "2",
+                "--chunk-kb",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "WCC" in capsys.readouterr().out
+
+    def test_input_requires_vertices(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "PR", "--input", "x.bin"])
+
+
+class TestCapacity:
+    def test_small_projection(self, capsys):
+        code = main(
+            [
+                "capacity",
+                "--algorithm",
+                "PR",
+                "--scale",
+                "20",
+                "--machines",
+                "4",
+                "--iterations",
+                "2",
+                "--chunk-mb",
+                "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PR:" in out and "TB I/O" in out
+
+
+class TestUtilization:
+    def test_table_matches_formula(self, capsys):
+        assert main(["utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "0.9956" in out  # rho(32, 5), the paper's 99.56%
+        assert "0.9933" in out  # the k=5 limit, the paper's 99.3%

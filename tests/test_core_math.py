@@ -1,0 +1,149 @@
+"""Unit tests for the analytic building blocks: batching math (Eq. 3-5)
+and the steal criterion (Eq. 1-2)."""
+
+import math
+
+import pytest
+
+from repro.core.batching import (
+    amplification_factor,
+    request_window,
+    utilization,
+    utilization_limit,
+)
+from repro.core.stealing import (
+    estimate_cluster_remaining,
+    should_accept_steal,
+)
+
+
+class TestBatchingMath:
+    def test_phi_equals_two_when_latencies_match(self):
+        """The paper's measured case: SSD latency == 40 GigE round trip."""
+        assert amplification_factor(100e-6, 100e-6) == pytest.approx(2.0)
+
+    def test_phi_grows_with_network_latency(self):
+        assert amplification_factor(300e-6, 100e-6) == pytest.approx(4.0)
+
+    def test_window_is_phi_k(self):
+        assert request_window(5, 100e-6, 100e-6) == 10  # the Fig 16 sweet spot
+
+    def test_window_rounds_up(self):
+        assert request_window(3, 50e-6, 100e-6) == 5  # ceil(4.5)
+
+    def test_utilization_matches_formula(self):
+        # Spot-check Eq. 4 directly.
+        assert utilization(10, 2) == pytest.approx(1 - (1 - 0.2) ** 10)
+
+    def test_utilization_k_ge_m_is_full(self):
+        assert utilization(4, 4) == 1.0
+        assert utilization(4, 10) == 1.0
+
+    def test_utilization_decreases_with_machines(self):
+        values = [utilization(m, 3) for m in (5, 10, 20, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_utilization_increases_with_k(self):
+        values = [utilization(30, k) for k in (1, 2, 3, 5)]
+        assert values == sorted(values)
+
+    def test_limit_bounds_utilization_below(self):
+        """Eq. 5: the m→∞ limit lower-bounds ρ for every finite m."""
+        for k in (1, 2, 3, 5):
+            for m in (5, 10, 100, 1000):
+                assert utilization(m, k) >= utilization_limit(k) - 1e-12
+
+    def test_paper_headline_number(self):
+        """k = 5 keeps utilization above 99.3% for any cluster size."""
+        assert utilization_limit(5) > 0.993
+        assert utilization(32, 5) > 0.995  # the Fig 16 discussion: 99.56%
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            utilization(0, 1)
+        with pytest.raises(ValueError):
+            utilization(5, 0)
+        with pytest.raises(ValueError):
+            utilization_limit(0)
+        with pytest.raises(ValueError):
+            amplification_factor(-1, 1)
+        with pytest.raises(ValueError):
+            amplification_factor(1, 0)
+        with pytest.raises(ValueError):
+            request_window(0, 1, 1)
+
+
+class TestStealCriterion:
+    def test_accepts_when_data_dwarfs_vertices(self):
+        assert should_accept_steal(
+            vertex_bytes=100, remaining_bytes=1_000_000, workers=1
+        )
+
+    def test_rejects_when_vertex_cost_dominates(self):
+        assert not should_accept_steal(
+            vertex_bytes=1_000_000, remaining_bytes=1_000, workers=1
+        )
+
+    def test_exact_boundary(self):
+        """V + D/(H+1) < D/H with H=1: accept iff V < D/2."""
+        assert should_accept_steal(vertex_bytes=499, remaining_bytes=1000, workers=1)
+        assert not should_accept_steal(
+            vertex_bytes=500, remaining_bytes=1000, workers=1
+        )
+
+    def test_more_workers_make_acceptance_harder(self):
+        kwargs = dict(vertex_bytes=100, remaining_bytes=10_000)
+        accepted = [
+            should_accept_steal(workers=h, **kwargs).accept for h in range(1, 60)
+        ]
+        # Monotone: once rejected, stays rejected as H grows.
+        first_reject = accepted.index(False)
+        assert not any(accepted[first_reject:])
+
+    def test_monotone_in_remaining_data(self):
+        """Once D has shrunk below the acceptance point it never recovers
+        (the property that justifies the single steal pass per phase)."""
+        results = [
+            should_accept_steal(
+                vertex_bytes=100, remaining_bytes=d, workers=2
+            ).accept
+            for d in range(0, 10_000, 100)
+        ]
+        # Sorted: False ... False True ... True as D increases.
+        assert results == sorted(results)
+
+    def test_alpha_zero_never_steals(self):
+        assert not should_accept_steal(
+            vertex_bytes=0, remaining_bytes=10**12, workers=1, alpha=0.0
+        )
+
+    def test_alpha_inf_always_steals(self):
+        assert should_accept_steal(
+            vertex_bytes=10**12, remaining_bytes=0, workers=99, alpha=math.inf
+        )
+
+    def test_alpha_scales_aggressiveness(self):
+        kwargs = dict(vertex_bytes=400, remaining_bytes=1000, workers=1)
+        assert not should_accept_steal(alpha=0.8, **kwargs)
+        assert should_accept_steal(alpha=1.2, **kwargs)
+
+    def test_workers_clamped_to_one(self):
+        decision = should_accept_steal(
+            vertex_bytes=1, remaining_bytes=1000, workers=0
+        )
+        assert decision.workers == 1
+
+    def test_estimate_scales_by_machines(self):
+        assert estimate_cluster_remaining(100, 32) == 3200.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            should_accept_steal(-1, 0, 1)
+        with pytest.raises(ValueError):
+            should_accept_steal(0, -1, 1)
+        with pytest.raises(ValueError):
+            should_accept_steal(0, 0, 1, alpha=-0.1)
+        with pytest.raises(ValueError):
+            estimate_cluster_remaining(-1, 2)
+        with pytest.raises(ValueError):
+            estimate_cluster_remaining(1, 0)

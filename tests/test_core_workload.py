@@ -1,0 +1,192 @@
+"""Unit tests for the workload layer (data-plane semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank
+from repro.core.gas import GraphContext, state_slice
+from repro.core.workload import DataWorkload, ModelWorkload
+from repro.graph import rmat_graph
+from repro.graph.stats import out_degrees
+from repro.partition.streaming import PartitionLayout
+from repro.perf.profiles import fixed_profile
+from repro.store.chunk import Chunk, ChunkKind
+
+
+def _workload(scale=6, partitions=4, iterations=2):
+    graph = rmat_graph(scale, seed=1)
+    layout = PartitionLayout.even(graph.num_vertices, partitions)
+    ctx = GraphContext(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        weighted=False,
+        out_degrees=out_degrees(graph),
+    )
+    return graph, layout, DataWorkload(PageRank(iterations=iterations), layout, ctx)
+
+
+def _edge_chunk(graph, layout, partition):
+    mask = layout.partition_of(graph.src) == partition
+    return Chunk(
+        partition=partition,
+        kind=ChunkKind.EDGES,
+        size=int(mask.sum()) * 8,
+        payload={"src": graph.src[mask], "dst": graph.dst[mask]},
+        records=int(mask.sum()),
+    )
+
+
+class TestStateSlice:
+    def test_views_share_memory(self):
+        values = {"x": np.arange(10.0)}
+        view = state_slice(values, 3, 7)
+        view["x"][0] = 99.0
+        assert values["x"][3] == 99.0
+
+    def test_slice_bounds(self):
+        values = {"x": np.arange(10.0)}
+        view = state_slice(values, 2, 5)
+        assert list(view["x"]) == [2.0, 3.0, 4.0]
+
+
+class TestDataWorkload:
+    def test_scatter_bins_by_destination_partition(self):
+        graph, layout, workload = _workload()
+        chunk = _edge_chunk(graph, layout, 0)
+        batches = workload.scatter_chunk(0, chunk, iteration=0)
+        for batch in batches:
+            targets = layout.partition_of(batch.payload["dst"])
+            assert (targets == batch.partition).all()
+        assert sum(b.count for b in batches) == chunk.records
+
+    def test_batch_bytes_use_algorithm_update_size(self):
+        graph, layout, workload = _workload()
+        chunk = _edge_chunk(graph, layout, 0)
+        for batch in workload.scatter_chunk(0, chunk, 0):
+            assert batch.nbytes == batch.count * workload.algorithm.update_bytes
+
+    def test_gather_and_apply_roundtrip(self):
+        graph, layout, workload = _workload(iterations=1)
+        # Scatter everything, gather per partition, apply.
+        batches_by_partition = {}
+        for p in range(layout.num_partitions):
+            for batch in workload.scatter_chunk(p, _edge_chunk(graph, layout, p), 0):
+                batches_by_partition.setdefault(batch.partition, []).append(batch)
+        for p in range(layout.num_partitions):
+            accum = workload.begin_gather(p)
+            for batch in batches_by_partition.get(p, []):
+                chunk = Chunk(
+                    partition=p,
+                    kind=ChunkKind.UPDATES,
+                    size=batch.nbytes,
+                    payload=batch.payload,
+                    records=batch.count,
+                )
+                workload.gather_chunk(p, accum, chunk)
+            workload.apply_partition(p, accum, 0)
+        from tests.references import reference_pagerank
+
+        assert np.allclose(
+            workload.values["rank"], reference_pagerank(graph, iterations=1)
+        )
+
+    def test_split_accumulators_merge_to_same_result(self):
+        """Gather in two halves + merge == gather in one go (the
+        stealer-accumulator protocol's core invariant)."""
+        graph, layout, workload = _workload()
+        batches = []
+        for p in range(layout.num_partitions):
+            batches += workload.scatter_chunk(p, _edge_chunk(graph, layout, p), 0)
+        target = 0
+        mine = [b for b in batches if b.partition == target]
+        if len(mine) < 2:
+            pytest.skip("need at least two batches")
+
+        def as_chunk(batch):
+            return Chunk(
+                partition=target,
+                kind=ChunkKind.UPDATES,
+                size=batch.nbytes,
+                payload=batch.payload,
+                records=batch.count,
+            )
+
+        whole = workload.begin_gather(target)
+        for batch in mine:
+            workload.gather_chunk(target, whole, as_chunk(batch))
+
+        master = workload.begin_gather(target)
+        stealer = workload.begin_gather(target)
+        half = len(mine) // 2
+        for batch in mine[:half]:
+            workload.gather_chunk(target, master, as_chunk(batch))
+        for batch in mine[half:]:
+            workload.gather_chunk(target, stealer, as_chunk(batch))
+        workload.merge_accumulators(target, master, stealer)
+        assert np.allclose(master, whole)
+
+    def test_vertex_and_accum_bytes(self):
+        _graph, layout, workload = _workload()
+        for p in range(layout.num_partitions):
+            assert workload.vertex_set_bytes(p) == layout.vertex_count(p) * 8
+            assert workload.accum_bytes(p) == layout.vertex_count(p) * 4
+
+    def test_rejects_wrong_state_length(self):
+        graph = rmat_graph(5, seed=1)
+        layout = PartitionLayout.even(graph.num_vertices, 2)
+
+        class Broken(PageRank):
+            def init_values(self, ctx):
+                return {"rank": np.zeros(3)}
+
+        ctx = GraphContext(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            weighted=False,
+            out_degrees=out_degrees(graph),
+        )
+        with pytest.raises(ValueError, match="length"):
+            DataWorkload(Broken(iterations=1), layout, ctx)
+
+    def test_phantom_chunk_rejected(self):
+        _graph, _layout, workload = _workload()
+        phantom = Chunk(partition=0, kind=ChunkKind.EDGES, size=10, records=1)
+        with pytest.raises(ValueError, match="payload"):
+            workload.scatter_chunk(0, phantom, 0)
+
+
+class TestModelWorkload:
+    def _model(self, partitions=4, factor=1.0, iterations=3):
+        layout = PartitionLayout.even(1024, partitions)
+        return ModelWorkload(
+            PageRank(iterations=iterations),
+            layout,
+            fixed_profile(iterations, update_factor=factor),
+        )
+
+    def test_update_volume_follows_factor(self):
+        workload = self._model(factor=0.5)
+        chunk = Chunk(partition=0, kind=ChunkKind.EDGES, size=8000, records=1000)
+        batches = workload.scatter_chunk(0, chunk, iteration=0)
+        produced = sum(b.count for b in batches)
+        assert produced == pytest.approx(500, rel=0.05)
+        assert all(b.payload is None for b in batches)
+
+    def test_zero_factor_produces_nothing(self):
+        workload = self._model(factor=0.0)
+        chunk = Chunk(partition=0, kind=ChunkKind.EDGES, size=800, records=100)
+        assert workload.scatter_chunk(0, chunk, 0) == []
+
+    def test_finished_follows_profile(self):
+        workload = self._model(iterations=3)
+        assert not workload.finished(0, None)
+        assert not workload.finished(1, None)
+        assert workload.finished(2, None)
+
+    def test_gather_and_apply_are_noops(self):
+        workload = self._model()
+        accum = workload.begin_gather(0)
+        assert accum is None
+        chunk = Chunk(partition=0, kind=ChunkKind.UPDATES, size=80, records=10)
+        workload.gather_chunk(0, accum, chunk)
+        assert workload.apply_partition(0, accum, 0) == 0

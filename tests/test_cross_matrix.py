@@ -1,0 +1,183 @@
+"""Cross-engine, cross-dataset consistency matrix.
+
+The same algorithm must produce the same answer on every engine (Chaos
+at any cluster size, X-Stream, Giraph) and every backend — the systems
+differ only in how data moves.  Exercised on the synthetic web graph
+(a different degree profile than RMAT) and odd machine counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    MIS,
+    SSSP,
+    WCC,
+    BeliefPropagation,
+    Conductance,
+    PageRank,
+    SpMV,
+    run_mcst,
+    run_scc,
+)
+from repro.baselines import run_giraph, run_xstream
+from repro.core.runtime import ChaosCluster, run_algorithm
+from repro.graph import data_commons_like, to_undirected
+from repro.store import FileChunkStore
+
+from tests.conftest import fast_config
+from tests.references import (
+    reference_bfs_distances,
+    reference_component_labels,
+    reference_mst_weight,
+    reference_pagerank,
+    reference_scc_ids,
+    reference_spmv,
+    reference_sssp_distances,
+)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return data_commons_like(600, avg_degree=6.0, seed=33)
+
+
+@pytest.fixture(scope="module")
+def web_undirected(web):
+    graph = to_undirected(web)
+    # Attach weights for the weighted algorithms.
+    rng = np.random.default_rng(5)
+    # Symmetric weights: derive from the unordered pair.
+    lo = np.minimum(graph.src, graph.dst)
+    hi = np.maximum(graph.src, graph.dst)
+    mix = (lo * 1_000_003 + hi) % 9973
+    from repro.graph.edgelist import EdgeList
+
+    return EdgeList(
+        num_vertices=graph.num_vertices,
+        src=graph.src,
+        dst=graph.dst,
+        weight=0.01 + (mix / 9973.0),
+    )
+
+
+class TestWebGraphCorrectness:
+    """All ten algorithms on the web-profile graph, 3-machine cluster."""
+
+    def test_bfs(self, web_undirected):
+        result = run_algorithm(BFS(root=1), web_undirected, fast_config(3))
+        assert np.array_equal(
+            result.values["distance"],
+            reference_bfs_distances(web_undirected, 1),
+        )
+
+    def test_wcc(self, web_undirected):
+        result = run_algorithm(WCC(), web_undirected, fast_config(3))
+        assert np.array_equal(
+            result.values["label"], reference_component_labels(web_undirected)
+        )
+
+    def test_sssp(self, web_undirected):
+        result = run_algorithm(SSSP(root=1), web_undirected, fast_config(3))
+        assert np.allclose(
+            result.values["distance"],
+            reference_sssp_distances(web_undirected, 1),
+        )
+
+    def test_mis(self, web_undirected):
+        result = run_algorithm(MIS(), web_undirected, fast_config(3))
+        status = result.values["status"]
+        in_set = status == 1
+        assert (status != 0).all()
+        assert not (
+            in_set[web_undirected.src] & in_set[web_undirected.dst]
+        ).any()
+
+    def test_mcst(self, web_undirected):
+        result = run_mcst(web_undirected, fast_config(3))
+        assert result.values["mst_weight"] == pytest.approx(
+            reference_mst_weight(web_undirected)
+        )
+
+    def test_scc(self, web):
+        result = run_scc(web, fast_config(3))
+        assert np.array_equal(result.values["scc"], reference_scc_ids(web))
+
+    def test_pagerank(self, web):
+        result = run_algorithm(PageRank(iterations=4), web, fast_config(3))
+        assert np.allclose(
+            result.values["rank"], reference_pagerank(web, iterations=4)
+        )
+
+    def test_spmv(self, web):
+        x = np.random.default_rng(0).random(web.num_vertices)
+        result = run_algorithm(SpMV(x=x), web, fast_config(3))
+        assert np.allclose(result.values["y"], reference_spmv(web, x))
+
+    def test_conductance_runs(self, web):
+        algorithm = Conductance()
+        result = run_algorithm(algorithm, web, fast_config(3))
+        value = algorithm.conductance_from_values(result.values)
+        assert value >= 0.0
+
+    def test_bp_runs(self, web):
+        result = run_algorithm(
+            BeliefPropagation(iterations=3), web, fast_config(3)
+        )
+        assert np.isfinite(result.values["belief"]).all()
+
+
+class TestEngineAgreement:
+    """Chaos == X-Stream == Giraph, record for record."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: PageRank(iterations=3),
+            lambda: SpMV(seed=4),
+            lambda: BeliefPropagation(iterations=3),
+        ],
+        ids=["PR", "SpMV", "BP"],
+    )
+    def test_directed_algorithms(self, web, make):
+        chaos = run_algorithm(make(), web, fast_config(3))
+        xstream = run_xstream(make(), web)
+        giraph = run_giraph(make(), web, machines=3)
+        for key in chaos.values:
+            assert np.allclose(chaos.values[key], xstream.values[key])
+            assert np.allclose(chaos.values[key], giraph.values[key])
+
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: BFS(root=1), lambda: WCC()],
+        ids=["BFS", "WCC"],
+    )
+    def test_undirected_algorithms(self, web_undirected, make):
+        chaos = run_algorithm(make(), web_undirected, fast_config(3))
+        xstream = run_xstream(make(), web_undirected)
+        giraph = run_giraph(make(), web_undirected, machines=3)
+        for key in chaos.values:
+            assert np.array_equal(chaos.values[key], xstream.values[key])
+            assert np.array_equal(chaos.values[key], giraph.values[key])
+
+
+class TestFileBackendMatrix:
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: BFS(root=1), lambda: SpMV(seed=2)],
+        ids=["BFS", "SpMV"],
+    )
+    def test_file_backend_agrees_with_memory(
+        self, tmp_path, web, web_undirected, make
+    ):
+        algorithm = make()
+        graph = web_undirected if algorithm.needs_undirected else web
+        config = fast_config(2)
+        memory = ChaosCluster(config).run(make(), graph)
+        files = ChaosCluster(
+            config,
+            backend_factory=lambda m: FileChunkStore(str(tmp_path / f"m{m}")),
+        ).run(make(), graph)
+        for key in memory.values:
+            assert np.allclose(memory.values[key], files.values[key])

@@ -1,0 +1,119 @@
+"""Tests for the multi-phase driver machinery (MCST/SCC structure)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import run_mcst, run_scc
+from repro.algorithms.drivers import DriverResult
+from repro.core.metrics import Breakdown, JobResult
+from repro.graph import rmat_graph, to_undirected
+
+from tests.conftest import fast_config
+
+
+def _job(runtime=1.0, storage=100, machines=2):
+    breakdown = Breakdown()
+    breakdown.add("gp_master", runtime / 2)
+    return JobResult(
+        algorithm="stub",
+        machines=machines,
+        runtime=runtime,
+        preprocessing_seconds=0.1,
+        iterations=2,
+        storage_bytes=storage,
+        network_bytes=10,
+        steals_accepted=1,
+        steals_rejected=2,
+        breakdowns=[breakdown, Breakdown()],
+    )
+
+
+class TestDriverResult:
+    def test_aggregates_sum_over_jobs(self):
+        result = DriverResult(
+            algorithm="X",
+            machines=2,
+            runtime=3.0,
+            rounds=2,
+            jobs=[_job(1.0), _job(2.0, storage=200)],
+        )
+        assert result.iterations == 4
+        assert result.storage_bytes == 300
+        assert result.network_bytes == 20
+        assert result.steals_accepted == 2
+        assert result.steals_rejected == 4
+        assert result.preprocessing_seconds == pytest.approx(0.2)
+        assert result.aggregate_bandwidth == pytest.approx(100.0)
+        assert result.checkpoints == 0
+
+    def test_breakdowns_merge_per_engine(self):
+        result = DriverResult(
+            algorithm="X",
+            machines=2,
+            runtime=3.0,
+            rounds=1,
+            jobs=[_job(1.0), _job(2.0)],
+        )
+        per_engine = result.breakdowns
+        assert len(per_engine) == 2
+        assert per_engine[0].gp_master == pytest.approx(0.5 + 1.0)
+        assert per_engine[1].total() == 0.0
+        assert result.total_breakdown().gp_master == pytest.approx(1.5)
+
+    def test_summary(self):
+        result = DriverResult(
+            algorithm="MCST", machines=4, runtime=1.0, rounds=3, jobs=[]
+        )
+        assert "MCST" in result.summary()
+        assert "rounds=3" in result.summary()
+
+
+class TestDriverStructure:
+    def test_mcst_two_jobs_per_round(self):
+        graph = to_undirected(rmat_graph(7, seed=3, weighted=True))
+        result = run_mcst(graph, fast_config(2))
+        assert len(result.jobs) == 2 * result.rounds
+        assert result.rounds >= 1
+        assert result.runtime == pytest.approx(
+            sum(job.runtime for job in result.jobs)
+        )
+
+    def test_scc_two_jobs_per_round(self):
+        graph = rmat_graph(7, seed=3)
+        result = run_scc(graph, fast_config(2))
+        assert len(result.jobs) == 2 * result.rounds
+        assert result.runtime == pytest.approx(
+            sum(job.runtime for job in result.jobs)
+        )
+
+    def test_mcst_contraction_terminates_quickly(self):
+        """Borůvka halves component count per round: rounds = O(log V)."""
+        graph = to_undirected(rmat_graph(9, seed=1, weighted=True))
+        result = run_mcst(graph, fast_config(2))
+        assert result.rounds <= 10
+
+    def test_mcst_component_labels_match_wcc(self):
+        from repro.algorithms import WCC
+        from repro.core.runtime import run_algorithm
+
+        graph = to_undirected(rmat_graph(8, seed=5, weighted=True))
+        mcst = run_mcst(graph, fast_config(2))
+        wcc = run_algorithm(WCC(), graph, fast_config(2))
+        # The forest's components are the graph's connected components:
+        # the label partition must coincide (label values may differ).
+        forest = mcst.values["component"]
+        reference = wcc.values["label"]
+        mapping = {}
+        for mine, theirs in zip(forest, reference):
+            assert mapping.setdefault(mine, theirs) == theirs
+
+    def test_mcst_tree_edge_count(self):
+        """|forest edges| = |V| - #components."""
+        from repro.algorithms import WCC
+        from repro.core.runtime import run_algorithm
+
+        graph = to_undirected(rmat_graph(8, seed=5, weighted=True))
+        mcst = run_mcst(graph, fast_config(2))
+        wcc = run_algorithm(WCC(), graph, fast_config(2))
+        components = len(np.unique(wcc.values["label"]))
+        assert mcst.values["tree_edges"] == graph.num_vertices - components

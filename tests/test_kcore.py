@@ -1,0 +1,83 @@
+"""Tests for the k-core extension algorithm."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import KCore, run_kcore_decomposition
+from repro.core.runtime import run_algorithm
+from repro.graph import rmat_graph, to_undirected
+from repro.graph.edgelist import EdgeList
+
+from tests.conftest import fast_config
+
+
+def _reference_coreness(edges: EdgeList) -> np.ndarray:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(edges.num_vertices))
+    graph.add_edges_from(zip(edges.src, edges.dst))
+    core = nx.core_number(graph)
+    return np.array([core[v] for v in range(edges.num_vertices)])
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat_graph(8, seed=17, weighted=True))
+
+
+class TestSingleKCore:
+    def test_two_core_matches_networkx(self, graph):
+        result = run_algorithm(KCore(k=2), graph, fast_config(2))
+        expected = _reference_coreness(graph) >= 2
+        assert np.array_equal(result.values["alive"], expected)
+
+    def test_one_core_drops_only_isolated(self, graph):
+        result = run_algorithm(KCore(k=1), graph, fast_config(2))
+        degrees = np.bincount(graph.src, minlength=graph.num_vertices)
+        assert np.array_equal(result.values["alive"], degrees >= 1)
+
+    def test_huge_k_empties_graph(self, graph):
+        result = run_algorithm(KCore(k=10**6), graph, fast_config(2))
+        assert not result.values["alive"].any()
+
+    def test_surviving_degrees_at_least_k(self, graph):
+        k = 3
+        result = run_algorithm(KCore(k=k), graph, fast_config(2))
+        alive = result.values["alive"]
+        # Recompute induced degrees directly.
+        inside = alive[graph.src] & alive[graph.dst]
+        induced = np.bincount(
+            graph.src[inside], minlength=graph.num_vertices
+        )
+        assert (induced[alive] >= k).all()
+        assert np.array_equal(result.values["degree"][alive], induced[alive])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KCore(k=0)
+
+
+class TestDecomposition:
+    def test_matches_networkx_core_number(self, graph):
+        result = run_kcore_decomposition(graph, fast_config(2))
+        assert np.array_equal(result["coreness"], _reference_coreness(graph))
+
+    def test_degeneracy_and_runtime(self, graph):
+        result = run_kcore_decomposition(graph, fast_config(2))
+        assert result["degeneracy"] == result["coreness"].max()
+        assert result["runtime"] > 0
+
+    def test_across_machine_counts(self, graph):
+        a = run_kcore_decomposition(graph, fast_config(1))
+        b = run_kcore_decomposition(graph, fast_config(4))
+        assert np.array_equal(a["coreness"], b["coreness"])
+
+    def test_warm_start_equals_cold(self, graph):
+        """Sweeping with warm starts equals computing each k from
+        scratch (peeling is monotone in k)."""
+        swept = run_kcore_decomposition(graph, fast_config(2))
+        k = max(2, swept["degeneracy"])
+        cold = run_algorithm(KCore(k=k), graph, fast_config(2))
+        assert np.array_equal(
+            cold.values["alive"], swept["coreness"] >= k
+        )

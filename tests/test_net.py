@@ -1,0 +1,113 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.net import GIGE_1, GIGE_40, Network, NetworkConfig
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestNetworkConfig:
+    def test_presets_bandwidth_ordering(self):
+        assert GIGE_40.bandwidth == 40 * GIGE_1.bandwidth
+
+    def test_round_trip_is_twice_one_way(self):
+        assert GIGE_40.round_trip() == pytest.approx(2 * GIGE_40.latency)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(bandwidth=0, latency=1e-6)
+        with pytest.raises(ValueError):
+            NetworkConfig(bandwidth=1e9, latency=-1)
+
+
+class TestTransport:
+    def _network(self, machines=2, config=None):
+        sim = Simulator()
+        return sim, Network(sim, machines, config or GIGE_40)
+
+    def test_remote_delivery_time(self):
+        sim, network = self._network()
+        network.register(1, "svc")
+        size = 1_000_000
+        delivered = network.send(0, 1, "svc", "data", size)
+        sim.run_until(delivered)
+        wire = size + Network.MESSAGE_OVERHEAD
+        expected = wire / GIGE_40.bandwidth * 2 + GIGE_40.latency
+        assert sim.now == pytest.approx(expected)
+
+    def test_local_delivery_is_free(self):
+        sim, network = self._network()
+        network.register(0, "svc")
+        delivered = network.send(0, 0, "svc", "data", 10**9)
+        sim.run_until(delivered)
+        assert sim.now == 0.0
+        assert network.total_bytes() == 0
+
+    def test_message_payload_and_metadata(self):
+        sim, network = self._network()
+        mailbox = network.register(1, "svc")
+        network.send(0, 1, "svc", "ping", 100, payload={"x": 1})
+        sim.run()
+        ok, message = mailbox.try_get()
+        assert ok
+        assert message.src == 0 and message.dst == 1
+        assert message.kind == "ping" and message.payload == {"x": 1}
+
+    def test_switch_counts_remote_bytes(self):
+        sim, network = self._network()
+        network.register(1, "svc")
+        network.send(0, 1, "svc", "a", 1000)
+        sim.run()
+        assert network.total_bytes() == 1000 + Network.MESSAGE_OVERHEAD
+        assert network.switch.messages_forwarded == 1
+
+    def test_concurrent_sends_share_nic(self):
+        """Two messages from one sender serialize on its egress NIC."""
+        sim, network = self._network(machines=3)
+        network.register(1, "svc")
+        network.register(2, "svc")
+        arrivals = []
+        size = 5_000_000  # 1 ms serialization at 5 GB/s
+        for dst in (1, 2):
+            network.send(0, dst, "svc", "bulk", size).subscribe(
+                lambda e: arrivals.append(sim.now)
+            )
+        sim.run()
+        assert len(arrivals) == 2
+        # Second message waits for the first's egress serialization.
+        assert arrivals[1] - arrivals[0] == pytest.approx(
+            (size + Network.MESSAGE_OVERHEAD) / GIGE_40.bandwidth
+        )
+
+    def test_slow_network_takes_longer(self):
+        size = 10_000_000
+        times = {}
+        for name, config in (("fast", GIGE_40), ("slow", GIGE_1)):
+            sim = Simulator()
+            network = Network(sim, 2, config)
+            network.register(1, "svc")
+            done = network.send(0, 1, "svc", "x", size)
+            sim.run_until(done)
+            times[name] = sim.now
+        assert times["slow"] > 10 * times["fast"]
+
+    def test_unknown_service_raises(self):
+        sim, network = self._network()
+        with pytest.raises(SimulationError, match="no service"):
+            network.send(0, 1, "missing", "x", 10)
+
+    def test_invalid_destination_raises(self):
+        sim, network = self._network()
+        network.register(1, "svc")
+        with pytest.raises(SimulationError, match="invalid destination"):
+            network.send(0, 7, "svc", "x", 10)
+
+    def test_nic_byte_accounting(self):
+        sim, network = self._network()
+        network.register(1, "svc")
+        network.send(0, 1, "svc", "x", 500)
+        sim.run()
+        wire = 500 + Network.MESSAGE_OVERHEAD
+        assert network.nics[0].bytes_sent() == wire
+        assert network.nics[1].bytes_received() == wire

@@ -1,0 +1,129 @@
+"""Unit tests for streaming partitions (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList, rmat_graph
+from repro.partition import (
+    PartitionLayout,
+    choose_partition_count,
+    partition_edges,
+    preprocess,
+)
+
+
+class TestPartitionLayout:
+    def test_even_split(self):
+        layout = PartitionLayout.even(10, 3)
+        assert list(layout.boundaries) == [0, 4, 7, 10]
+        assert layout.vertex_count(0) == 4
+        assert layout.vertex_count(2) == 3
+
+    def test_partition_of_vectorized(self):
+        layout = PartitionLayout.even(10, 2)
+        result = layout.partition_of(np.array([0, 4, 5, 9]))
+        assert list(result) == [0, 0, 1, 1]
+
+    def test_vertex_range(self):
+        layout = PartitionLayout.even(10, 2)
+        assert list(layout.vertex_range(1)) == [5, 6, 7, 8, 9]
+
+    def test_to_local(self):
+        layout = PartitionLayout.even(10, 2)
+        local = layout.to_local(1, np.array([5, 9]))
+        assert list(local) == [0, 4]
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionLayout(10, 2, np.array([0, 5, 9]))  # does not span
+        with pytest.raises(ValueError):
+            PartitionLayout(10, 2, np.array([0, 7, 5]))  # decreasing
+
+    def test_more_partitions_than_vertices(self):
+        layout = PartitionLayout.even(2, 4)
+        counts = [layout.vertex_count(p) for p in range(4)]
+        assert sum(counts) == 2
+
+
+class TestChoosePartitionCount:
+    def test_one_partition_when_memory_ample(self):
+        assert choose_partition_count(1000, 1, 16, 10**9) == 1
+
+    def test_multiple_of_machines(self):
+        count = choose_partition_count(1000, 4, 16, 10**9)
+        assert count == 4
+
+    def test_grows_until_fits(self):
+        # 1000 vertices x 16 B = 16 kB total; 3 kB memory -> need >= 6
+        # partitions, rounded up to a multiple of 2 -> 6.
+        count = choose_partition_count(1000, 2, 16, 3000)
+        assert count % 2 == 0
+        per_partition = -(-1000 // count) * 16
+        assert per_partition <= 3000
+        # Smallest such multiple: count-2 must NOT fit.
+        if count > 2:
+            previous = -(-1000 // (count - 2)) * 16
+            assert previous > 3000
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            choose_partition_count(10, 1, 16, 8)
+
+
+class TestPartitionEdges:
+    def test_edges_follow_source_partition(self):
+        graph = rmat_graph(8, seed=0)
+        layout = PartitionLayout.even(graph.num_vertices, 4)
+        parts = partition_edges(graph, layout)
+        for p, part in enumerate(parts):
+            if part.num_edges:
+                assert (layout.partition_of(part.src) == p).all()
+
+    def test_union_equals_input(self):
+        graph = rmat_graph(8, seed=0, weighted=True)
+        layout = PartitionLayout.even(graph.num_vertices, 4)
+        parts = partition_edges(graph, layout)
+        assert sum(p.num_edges for p in parts) == graph.num_edges
+        merged = sorted(
+            (s, d, w)
+            for part in parts
+            for s, d, w in zip(part.src, part.dst, part.weight)
+        )
+        original = sorted(zip(graph.src, graph.dst, graph.weight))
+        assert merged == original
+
+    def test_empty_partitions_allowed(self):
+        edges = EdgeList(num_vertices=8, src=[0, 1], dst=[2, 3])
+        layout = PartitionLayout.even(8, 4)
+        parts = partition_edges(edges, layout)
+        assert parts[0].num_edges == 2
+        assert all(p.num_edges == 0 for p in parts[1:])
+
+
+class TestPreprocess:
+    def test_sharded_split_equals_serial(self):
+        """Parallel pre-processing must produce the same partitions."""
+        graph = rmat_graph(9, seed=2, weighted=True)
+        serial = preprocess(graph, machines=4, input_shards=1)
+        parallel = preprocess(graph, machines=4, input_shards=7)
+        for a, b in zip(
+            serial.partition_edge_lists, parallel.partition_edge_lists
+        ):
+            assert sorted(zip(a.src, a.dst, a.weight)) == sorted(
+                zip(b.src, b.dst, b.weight)
+            )
+
+    def test_total_edges_preserved(self):
+        graph = rmat_graph(9, seed=2)
+        result = preprocess(graph, machines=3)
+        assert result.total_edges() == graph.num_edges
+
+    def test_partition_count_respects_memory(self):
+        graph = rmat_graph(10, seed=0)  # 1024 vertices
+        result = preprocess(
+            graph, machines=2, vertex_state_bytes=16, memory_bytes=2048
+        )
+        layout = result.layout
+        assert layout.num_partitions % 2 == 0
+        for p in range(layout.num_partitions):
+            assert layout.vertex_count(p) * 16 <= 2048

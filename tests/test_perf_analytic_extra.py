@@ -1,0 +1,132 @@
+"""Additional coverage: model-mode feature combinations, determinism of
+placement policies, driver checkpointing, and generator properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PageRank, run_mcst, run_scc
+from repro.core import ClusterConfig
+from repro.core.runtime import ChaosCluster, GraphSpec
+from repro.graph import data_commons_like, rmat_graph, to_undirected
+from repro.graph.rmat import rmat_edge_count
+from repro.perf.profiles import fixed_profile
+from repro.store.placement import RandomPlacement
+
+from tests.conftest import fast_config
+
+
+class TestModelModeFeatureMatrix:
+    def _spec(self):
+        return GraphSpec.rmat(14)
+
+    def test_model_with_stealing_disabled_slower_on_skew(self):
+        # Chunks must be plentiful relative to stores: the master's D
+        # estimate is (local remaining) x machines, which needs several
+        # chunks per store to be meaningful (as at paper scale).  A
+        # larger cluster makes the straggler effect unambiguous (a lone
+        # master cannot match the aggregate drain rate).
+        base = ClusterConfig(
+            machines=16, chunk_bytes=1 << 12, partitions_per_machine=1
+        )
+        spec = GraphSpec.rmat(15)
+        with_stealing = ChaosCluster(base).run_model(
+            PageRank(iterations=3), spec, fixed_profile(3)
+        )
+        without = ChaosCluster(base.with_(steal_alpha=0.0)).run_model(
+            PageRank(iterations=3), spec, fixed_profile(3)
+        )
+        # The RMAT partition skew makes no-stealing strictly worse.
+        assert without.runtime > with_stealing.runtime
+        assert with_stealing.steals_accepted > 0
+
+    def test_model_with_checkpointing_adds_io(self):
+        base = ClusterConfig(
+            machines=4, chunk_bytes=1 << 13, partitions_per_machine=1
+        )
+        plain = ChaosCluster(base).run_model(
+            PageRank(iterations=2), self._spec(), fixed_profile(2)
+        )
+        checkpointed = ChaosCluster(base.with_(checkpointing=True)).run_model(
+            PageRank(iterations=2), self._spec(), fixed_profile(2)
+        )
+        assert checkpointed.storage_bytes > plain.storage_bytes
+        assert checkpointed.checkpoints > 0
+
+    def test_model_centralized_placement_slower(self):
+        base = ClusterConfig(
+            machines=8, chunk_bytes=1 << 13, partitions_per_machine=1
+        )
+        random_placement = ChaosCluster(base).run_model(
+            PageRank(iterations=2), self._spec(), fixed_profile(2)
+        )
+        central = ChaosCluster(
+            base.with_(
+                placement="centralized", directory_lookups_per_second=50_000
+            )
+        ).run_model(PageRank(iterations=2), self._spec(), fixed_profile(2))
+        assert central.runtime > random_placement.runtime
+
+
+class TestPlacementDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomPlacement(8, seed=42)
+        b = RandomPlacement(8, seed=42)
+        assert [a.choose_write() for _ in range(50)] == [
+            b.choose_write() for _ in range(50)
+        ]
+
+    def test_different_seed_different_sequence(self):
+        a = RandomPlacement(8, seed=1)
+        b = RandomPlacement(8, seed=2)
+        assert [a.choose_write() for _ in range(50)] != [
+            b.choose_write() for _ in range(50)
+        ]
+
+
+class TestDriversWithFeatures:
+    def test_mcst_with_checkpointing(self):
+        graph = to_undirected(rmat_graph(7, seed=9, weighted=True))
+        plain = run_mcst(graph, fast_config(2))
+        checkpointed = run_mcst(graph, fast_config(2, checkpointing=True))
+        assert checkpointed.values["mst_weight"] == pytest.approx(
+            plain.values["mst_weight"]
+        )
+        assert checkpointed.checkpoints > 0
+
+    def test_scc_with_aggregation(self):
+        graph = rmat_graph(7, seed=9)
+        plain = run_scc(graph, fast_config(2))
+        aggregated = run_scc(graph, fast_config(2, aggregate_updates=True))
+        assert np.array_equal(plain.values["scc"], aggregated.values["scc"])
+
+    def test_mcst_no_stealing_still_correct(self):
+        graph = to_undirected(rmat_graph(7, seed=9, weighted=True))
+        plain = run_mcst(graph, fast_config(4))
+        no_steal = run_mcst(graph, fast_config(4, steal_alpha=0.0))
+        assert no_steal.values["mst_weight"] == pytest.approx(
+            plain.values["mst_weight"]
+        )
+
+
+class TestGeneratorProperties:
+    @given(scale=st.integers(2, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_rmat_ids_in_range(self, scale, seed):
+        graph = rmat_graph(scale, seed=seed)
+        assert graph.num_edges == rmat_edge_count(scale)
+        assert graph.src.min() >= 0 and graph.src.max() < 2**scale
+        assert graph.dst.min() >= 0 and graph.dst.max() < 2**scale
+
+    @given(
+        pages=st.integers(10, 500),
+        degree=st.floats(1.0, 20.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_web_graph_well_formed(self, pages, degree, seed):
+        graph = data_commons_like(pages, avg_degree=degree, seed=seed)
+        assert graph.num_vertices == pages
+        assert (graph.src != graph.dst).all()
+        assert graph.src.max() < pages and graph.dst.max() < pages

@@ -1,0 +1,132 @@
+"""Tests for checkpoint resume and failure recovery (Section 6.6)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank, WCC
+from repro.core.recovery import RecoveryReport, run_with_failure
+from repro.core.runtime import ChaosCluster, run_algorithm
+from repro.graph import rmat_graph, to_undirected
+
+from tests.conftest import fast_config
+from tests.references import reference_pagerank
+
+
+class TestResumeFromValues:
+    def test_split_pagerank_equals_straight_run(self, small_graph):
+        """3 iterations, then resume for 2 == 5 straight iterations."""
+        config = fast_config(2)
+        first = ChaosCluster(config).run(PageRank(iterations=3), small_graph)
+        checkpoint = {k: np.copy(v) for k, v in first.values.items()}
+        second = ChaosCluster(config).run(
+            PageRank(iterations=2), small_graph, initial_values=checkpoint
+        )
+        straight = reference_pagerank(small_graph, iterations=5)
+        assert np.allclose(second.values["rank"], straight)
+
+    def test_resume_quiescent_algorithm_finishes_quickly(self):
+        """Resuming WCC from its own fixpoint converges immediately."""
+        graph = to_undirected(rmat_graph(8, seed=3, weighted=True))
+        config = fast_config(2)
+        done = ChaosCluster(config).run(WCC(), graph)
+        resumed = ChaosCluster(config).run(
+            WCC(), graph, initial_values=done.values
+        )
+        assert np.array_equal(resumed.values["label"], done.values["label"])
+        assert resumed.iterations <= 2
+
+    def test_missing_state_array_rejected(self, small_graph):
+        config = fast_config(2)
+        with pytest.raises(ValueError, match="missing state array"):
+            ChaosCluster(config).run(
+                PageRank(iterations=1),
+                small_graph,
+                initial_values={"rank": np.ones(small_graph.num_vertices)},
+            )
+
+    def test_wrong_shape_rejected(self, small_graph):
+        config = fast_config(2)
+        with pytest.raises(ValueError, match="shape"):
+            ChaosCluster(config).run(
+                PageRank(iterations=1),
+                small_graph,
+                initial_values={"rank": np.ones(3), "degree": np.ones(3)},
+            )
+
+
+class TestRunWithFailure:
+    def test_recovered_result_matches_baseline(self, small_graph):
+        config = fast_config(2, checkpointing=True)
+        report = run_with_failure(
+            lambda: PageRank(iterations=4),
+            small_graph,
+            config,
+            fail_after_iterations=2,
+        )
+        expected = reference_pagerank(small_graph, iterations=4)
+        assert np.allclose(report.result.values["rank"], expected)
+
+    def test_recovery_for_quiescent_algorithm(self):
+        graph = to_undirected(rmat_graph(8, seed=6, weighted=True))
+        config = fast_config(2, checkpointing=True)
+        report = run_with_failure(
+            lambda: BFS(root=0), graph, config, fail_after_iterations=1
+        )
+        baseline = run_algorithm(BFS(root=0), graph, config)
+        assert np.array_equal(
+            report.result.values["distance"], baseline.values["distance"]
+        )
+
+    def test_timeline_decomposition(self, small_graph):
+        config = fast_config(2, checkpointing=True)
+        report = run_with_failure(
+            lambda: PageRank(iterations=4),
+            small_graph,
+            config,
+            fail_after_iterations=2,
+        )
+        assert report.failed_iteration == 2
+        assert report.time_before_failure > 0
+        assert report.restore_seconds > 0
+        assert report.time_after_restore > 0
+        assert report.total_runtime == pytest.approx(
+            report.time_before_failure
+            + report.restore_seconds
+            + report.time_after_restore
+        )
+        # Recovering costs extra time, but not a full re-run.
+        assert report.total_runtime > report.baseline_runtime
+        assert report.total_runtime < 2.5 * report.baseline_runtime
+        assert "failed at iteration 2" in report.summary()
+
+    def test_requires_checkpointing(self, small_graph):
+        with pytest.raises(ValueError, match="checkpointing"):
+            run_with_failure(
+                lambda: PageRank(iterations=2),
+                small_graph,
+                fast_config(2),
+                fail_after_iterations=1,
+            )
+
+    def test_invalid_failure_point(self, small_graph):
+        with pytest.raises(ValueError, match="fail_after_iterations"):
+            run_with_failure(
+                lambda: PageRank(iterations=2),
+                small_graph,
+                fast_config(2, checkpointing=True),
+                fail_after_iterations=0,
+            )
+
+    def test_failure_past_convergence_clamped(self):
+        """Failing 'after iteration 50' of a 3-iteration job clamps to
+        the job's actual length."""
+        graph = to_undirected(rmat_graph(7, seed=2, weighted=True))
+        config = fast_config(2, checkpointing=True)
+        report = run_with_failure(
+            lambda: WCC(), graph, config, fail_after_iterations=50
+        )
+        baseline = run_algorithm(WCC(), graph, config)
+        assert report.failed_iteration <= baseline.iterations
+        assert np.array_equal(
+            report.result.values["label"], baseline.values["label"]
+        )

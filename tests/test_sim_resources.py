@@ -1,0 +1,161 @@
+"""Unit tests for queueing resources (FIFO servers, core banks, mailboxes)."""
+
+import pytest
+
+from repro.sim import CoreBank, FifoServer, Mailbox, Semaphore, Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestFifoServer:
+    def test_single_request_time(self):
+        sim = Simulator()
+        server = FifoServer(sim, bandwidth=100.0, latency=0.5)
+        done = server.service(50)  # 0.5 + 50/100 = 1.0
+        times = []
+        done.subscribe(lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0)]
+
+    def test_requests_serialize_fifo(self):
+        sim = Simulator()
+        server = FifoServer(sim, bandwidth=100.0, latency=0.0)
+        finish_times = []
+        for _ in range(3):
+            server.service(100).subscribe(lambda e: finish_times.append(sim.now))
+        sim.run()
+        assert finish_times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_idle_gap_not_counted(self):
+        sim = Simulator()
+        server = FifoServer(sim, bandwidth=100.0)
+
+        def late_request():
+            yield sim.timeout(10.0)
+            yield server.service(100)
+            return sim.now
+
+        process = sim.process(late_request())
+        assert sim.run_until(process.finished) == pytest.approx(11.0)
+        # Busy for only 1 second out of 11.
+        assert server.meter.utilization(sim.now) == pytest.approx(1.0 / 11.0)
+
+    def test_meter_counts_bytes_and_requests(self):
+        sim = Simulator()
+        server = FifoServer(sim, bandwidth=10.0)
+        server.service(5)
+        server.service(15)
+        sim.run()
+        assert server.meter.bytes_served == 20
+        assert server.meter.requests == 2
+
+    def test_queue_delay_reflects_backlog(self):
+        sim = Simulator()
+        server = FifoServer(sim, bandwidth=1.0)
+        server.service(10)
+        assert server.queue_delay() == pytest.approx(10.0)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FifoServer(sim, bandwidth=0)
+        with pytest.raises(ValueError):
+            FifoServer(sim, bandwidth=1.0, latency=-1)
+        server = FifoServer(sim, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            server.service(-1)
+
+
+class TestCoreBank:
+    def test_jobs_run_in_parallel_up_to_core_count(self):
+        sim = Simulator()
+        bank = CoreBank(sim, cores=2)
+        finish = []
+        for _ in range(4):
+            bank.execute(1.0).subscribe(lambda e: finish.append(sim.now))
+        sim.run()
+        assert finish == [1.0, 1.0, 2.0, 2.0]
+
+    def test_single_core_serializes(self):
+        sim = Simulator()
+        bank = CoreBank(sim, cores=1)
+        finish = []
+        bank.execute(1.0).subscribe(lambda e: finish.append(sim.now))
+        bank.execute(2.0).subscribe(lambda e: finish.append(sim.now))
+        sim.run()
+        assert finish == [1.0, 3.0]
+
+    def test_zero_duration_completes_now(self):
+        sim = Simulator()
+        bank = CoreBank(sim, cores=1)
+        finish = []
+        bank.execute(0.0).subscribe(lambda e: finish.append(sim.now))
+        sim.run()
+        assert finish == [0.0]
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CoreBank(Simulator(), cores=0)
+
+
+class TestSemaphore:
+    def test_acquire_within_capacity_is_immediate(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim, capacity=2)
+        assert semaphore.acquire().triggered
+        assert semaphore.acquire().triggered
+        assert not semaphore.acquire().triggered
+
+    def test_release_wakes_waiter(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim, capacity=1)
+        semaphore.acquire()
+        waiter = semaphore.acquire()
+        assert not waiter.triggered
+        semaphore.release()
+        assert waiter.triggered
+
+    def test_over_release_detected(self):
+        sim = Simulator()
+        semaphore = Semaphore(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            semaphore.release()
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        sim = Simulator()
+        mailbox = Mailbox(sim)
+        mailbox.put("hello")
+        event = mailbox.get()
+        assert event.triggered and event.value == "hello"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        mailbox = Mailbox(sim)
+        event = mailbox.get()
+        assert not event.triggered
+        mailbox.put("late")
+        assert event.value == "late"
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        mailbox = Mailbox(sim)
+        mailbox.put(1)
+        mailbox.put(2)
+        assert mailbox.get().value == 1
+        assert mailbox.get().value == 2
+
+    def test_try_get(self):
+        sim = Simulator()
+        mailbox = Mailbox(sim)
+        assert mailbox.try_get() == (False, None)
+        mailbox.put("x")
+        assert mailbox.try_get() == (True, "x")
+
+    def test_len_counts_queued_items(self):
+        sim = Simulator()
+        mailbox = Mailbox(sim)
+        assert len(mailbox) == 0
+        mailbox.put(1)
+        mailbox.put(2)
+        assert len(mailbox) == 2

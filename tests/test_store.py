@@ -1,0 +1,417 @@
+"""Unit tests for the storage substrate: chunks, backends, engines, placement."""
+
+import numpy as np
+import pytest
+
+from repro.net import GIGE_40, Network
+from repro.sim import Simulator
+from repro.store import (
+    CentralizedDirectory,
+    Chunk,
+    ChunkKind,
+    FileChunkStore,
+    HashedVertexPlacement,
+    MemoryChunkStore,
+    RandomPlacement,
+    SSD_480GB,
+    StorageEngine,
+)
+from repro.store.chunk import split_into_chunks
+from repro.store.device import HDD_RAID0, DeviceSpec
+
+
+class TestChunk:
+    def test_phantom_detection(self):
+        chunk = Chunk(partition=0, kind=ChunkKind.EDGES, size=10)
+        assert chunk.is_phantom
+        chunk = Chunk(partition=0, kind=ChunkKind.EDGES, size=10, payload={})
+        assert not chunk.is_phantom
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(partition=0, kind=ChunkKind.EDGES, size=-1)
+
+    def test_split_into_chunks(self):
+        assert split_into_chunks(10, 4) == [4, 4, 2]
+        assert split_into_chunks(8, 4) == [4, 4]
+        assert split_into_chunks(0, 4) == []
+        assert split_into_chunks(3, 4) == [3]
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            split_into_chunks(10, 0)
+        with pytest.raises(ValueError):
+            split_into_chunks(-1, 4)
+
+
+class TestDeviceSpec:
+    def test_chunk_time(self):
+        device = DeviceSpec("d", bandwidth=100.0, latency=0.5, capacity=10)
+        assert device.chunk_time(50) == pytest.approx(1.0)
+
+    def test_presets_ordering(self):
+        assert SSD_480GB.bandwidth == 2 * HDD_RAID0.bandwidth
+        assert HDD_RAID0.latency > SSD_480GB.latency
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", bandwidth=0, latency=0, capacity=1)
+
+
+def _edge_chunk(partition=0, size=100, seq=0):
+    return Chunk(partition=partition, kind=ChunkKind.EDGES, size=size, records=seq)
+
+
+class TestMemoryChunkStore:
+    def test_read_once_semantics(self):
+        store = MemoryChunkStore()
+        store.append_chunk(_edge_chunk(seq=1))
+        store.append_chunk(_edge_chunk(seq=2))
+        assert store.fetch_any(0, ChunkKind.EDGES).records == 1
+        assert store.fetch_any(0, ChunkKind.EDGES).records == 2
+        assert store.fetch_any(0, ChunkKind.EDGES) is None
+
+    def test_reset_cursors_makes_rereadable(self):
+        store = MemoryChunkStore()
+        store.append_chunk(_edge_chunk())
+        store.fetch_any(0, ChunkKind.EDGES)
+        assert store.fetch_any(0, ChunkKind.EDGES) is None
+        store.reset_cursors(ChunkKind.EDGES)
+        assert store.fetch_any(0, ChunkKind.EDGES) is not None
+
+    def test_remaining_bytes(self):
+        store = MemoryChunkStore()
+        store.append_chunk(_edge_chunk(size=100))
+        store.append_chunk(_edge_chunk(size=50))
+        assert store.remaining_bytes(0, ChunkKind.EDGES) == 150
+        store.fetch_any(0, ChunkKind.EDGES)
+        assert store.remaining_bytes(0, ChunkKind.EDGES) == 50
+
+    def test_partitions_are_independent(self):
+        store = MemoryChunkStore()
+        store.append_chunk(_edge_chunk(partition=0))
+        store.append_chunk(_edge_chunk(partition=1))
+        assert store.fetch_any(0, ChunkKind.EDGES) is not None
+        assert store.fetch_any(0, ChunkKind.EDGES) is None
+        assert store.fetch_any(1, ChunkKind.EDGES) is not None
+
+    def test_delete_clears_set(self):
+        store = MemoryChunkStore()
+        chunk = Chunk(partition=0, kind=ChunkKind.UPDATES, size=10)
+        store.append_chunk(chunk)
+        store.delete(0, ChunkKind.UPDATES)
+        assert store.fetch_any(0, ChunkKind.UPDATES) is None
+        assert store.remaining_bytes(0, ChunkKind.UPDATES) == 0
+
+    def test_vertex_chunks_keyed_by_index(self):
+        store = MemoryChunkStore()
+        for index in range(3):
+            store.put_vertex_chunk(
+                Chunk(
+                    partition=0,
+                    kind=ChunkKind.VERTICES,
+                    size=10,
+                    index=index,
+                    records=index,
+                )
+            )
+        assert store.get_vertex_chunk(0, 1).records == 1
+        assert store.get_vertex_chunk(0, 5) is None
+        assert store.vertex_chunk_count(0) == 3
+
+    def test_vertex_chunk_overwrite(self):
+        store = MemoryChunkStore()
+        for records in (1, 2):
+            store.put_vertex_chunk(
+                Chunk(
+                    partition=0,
+                    kind=ChunkKind.VERTICES,
+                    size=10,
+                    index=0,
+                    records=records,
+                )
+            )
+        assert store.get_vertex_chunk(0, 0).records == 2
+        assert store.vertex_chunk_count(0) == 1
+
+    def test_vertex_chunk_wrong_method_rejected(self):
+        store = MemoryChunkStore()
+        with pytest.raises(ValueError):
+            store.append_chunk(
+                Chunk(partition=0, kind=ChunkKind.VERTICES, size=1)
+            )
+        with pytest.raises(ValueError):
+            store.put_vertex_chunk(_edge_chunk())
+
+
+class TestFileChunkStore:
+    def _payload_chunk(self, partition=0, values=(1, 2, 3)):
+        array = np.array(values, dtype=np.int64)
+        return Chunk(
+            partition=partition,
+            kind=ChunkKind.EDGES,
+            size=array.nbytes,
+            payload={"dst": array, "src": array * 2},
+            records=len(values),
+        )
+
+    def test_payload_roundtrip_through_disk(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        chunk = self._payload_chunk()
+        store.append_chunk(chunk)
+        loaded = store.fetch_any(0, ChunkKind.EDGES)
+        assert np.array_equal(loaded.payload["dst"], chunk.payload["dst"])
+        assert np.array_equal(loaded.payload["src"], chunk.payload["src"])
+
+    def test_files_created_on_disk(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        store.append_chunk(self._payload_chunk(partition=3))
+        assert (tmp_path / "p3.edges").exists()
+
+    def test_read_once_and_reset(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        store.append_chunk(self._payload_chunk())
+        assert store.fetch_any(0, ChunkKind.EDGES) is not None
+        assert store.fetch_any(0, ChunkKind.EDGES) is None
+        store.reset_cursors(ChunkKind.EDGES)
+        loaded = store.fetch_any(0, ChunkKind.EDGES)
+        assert loaded is not None and loaded.payload is not None
+
+    def test_delete_removes_file(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        store.append_chunk(self._payload_chunk(partition=1))
+        store.delete(1, ChunkKind.EDGES)
+        assert not (tmp_path / "p1.edges").exists()
+        assert store.fetch_any(1, ChunkKind.EDGES) is None
+
+    def test_structured_dtype_payload(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        dtype = np.dtype([("weight", np.float64), ("src", np.int64)])
+        payload = np.zeros(4, dtype=dtype)
+        payload["weight"] = [1.0, 2.0, 3.0, 4.0]
+        chunk = Chunk(
+            partition=0,
+            kind=ChunkKind.UPDATES,
+            size=payload.nbytes,
+            payload={"value": payload, "dst": np.arange(4)},
+            records=4,
+        )
+        store.append_chunk(chunk)
+        loaded = store.fetch_any(0, ChunkKind.UPDATES)
+        assert np.array_equal(loaded.payload["value"]["weight"], payload["weight"])
+
+    def test_vertex_chunk_roundtrip(self, tmp_path):
+        store = FileChunkStore(str(tmp_path))
+        array = np.arange(5, dtype=np.float64)
+        store.put_vertex_chunk(
+            Chunk(
+                partition=0,
+                kind=ChunkKind.VERTICES,
+                size=array.nbytes,
+                payload={"rank": array},
+                index=0,
+            )
+        )
+        loaded = store.get_vertex_chunk(0, 0)
+        assert np.array_equal(loaded.payload["rank"], array)
+
+
+class TestRandomPlacement:
+    def test_write_targets_in_range(self):
+        placement = RandomPlacement(4, seed=1)
+        targets = {placement.choose_write() for _ in range(100)}
+        assert targets <= {0, 1, 2, 3}
+        assert len(targets) == 4  # all machines eventually used
+
+    def test_read_respects_exclusions(self):
+        placement = RandomPlacement(4, seed=1)
+        for _ in range(50):
+            choice = placement.choose_read({0, 2})
+            assert choice in (1, 3)
+
+    def test_all_excluded_returns_none(self):
+        placement = RandomPlacement(2, seed=0)
+        assert placement.choose_read({0, 1}) is None
+
+    def test_uniformity(self):
+        placement = RandomPlacement(4, seed=9)
+        counts = np.bincount(
+            [placement.choose_write() for _ in range(4000)], minlength=4
+        )
+        assert counts.min() > 800  # roughly uniform
+
+
+class TestHashedVertexPlacement:
+    def test_deterministic(self):
+        a = HashedVertexPlacement(8)
+        b = HashedVertexPlacement(8)
+        for partition in range(10):
+            for index in range(10):
+                assert a.machine_for(partition, index) == b.machine_for(
+                    partition, index
+                )
+
+    def test_spreads_across_machines(self):
+        placement = HashedVertexPlacement(8)
+        machines = {
+            placement.machine_for(p, i) for p in range(16) for i in range(16)
+        }
+        assert machines == set(range(8))
+
+
+class TestStorageEngineProtocol:
+    def _cluster(self, machines=2):
+        sim = Simulator()
+        network = Network(sim, machines, GIGE_40)
+        engines = [
+            StorageEngine(sim, network, m, SSD_480GB, MemoryChunkStore())
+            for m in range(machines)
+        ]
+        return sim, network, engines
+
+    def _request(self, sim, network, kind, payload):
+        mailbox = network.register(0, "client")
+        network.send(0, 1, "storage", kind, 32, payload=payload)
+        replies = []
+
+        def collect():
+            message = yield mailbox.get()
+            replies.append(message)
+
+        sim.process(collect())
+        sim.run()
+        return replies[0]
+
+    def test_read_returns_chunk_then_exhausted(self):
+        sim, network, engines = self._cluster()
+        engines[1].preload_chunk(_edge_chunk(size=4096))
+        reply = self._request(
+            sim, network, "read", (1, 0, "client", 0, ChunkKind.EDGES)
+        )
+        assert reply.payload[1].size == 4096
+        reply = self._request(
+            sim, network, "read", (2, 0, "client", 0, ChunkKind.EDGES)
+        )
+        assert reply.payload[1] is None
+        assert engines[1].exhausted_replies == 1
+
+    def test_write_then_read_back(self):
+        sim, network, engines = self._cluster()
+        chunk = Chunk(partition=2, kind=ChunkKind.UPDATES, size=1000)
+        reply = self._request(sim, network, "write", (5, 0, "client", chunk))
+        assert reply.kind == "write_ack"
+        reply = self._request(
+            sim, network, "read", (6, 0, "client", 2, ChunkKind.UPDATES)
+        )
+        assert reply.payload[1].size == 1000
+
+    def test_vread_vwrite_roundtrip(self):
+        sim, network, engines = self._cluster()
+        chunk = Chunk(
+            partition=0, kind=ChunkKind.VERTICES, size=64, index=3
+        )
+        self._request(sim, network, "vwrite", (7, 0, "client", chunk))
+        reply = self._request(sim, network, "vread", (8, 0, "client", 0, 3))
+        assert reply.payload[1].index == 3
+
+    def test_device_time_charged(self):
+        sim, network, engines = self._cluster()
+        size = 4 * 1024 * 1024
+        engines[1].preload_chunk(_edge_chunk(size=size))
+        self._request(sim, network, "read", (1, 0, "client", 0, ChunkKind.EDGES))
+        expected_device = SSD_480GB.latency + size / SSD_480GB.bandwidth
+        assert sim.now > expected_device  # device + network time elapsed
+        assert engines[1].bytes_served() == size
+
+    def test_remaining_bytes_local_query(self):
+        sim, network, engines = self._cluster()
+        engines[0].preload_chunk(_edge_chunk(size=100))
+        assert engines[0].remaining_bytes(0, ChunkKind.EDGES) == 100
+        assert engines[0].remaining_bytes(0, ChunkKind.UPDATES) == 0
+
+
+class TestCentralizedDirectory:
+    def test_lookup_roundtrip(self):
+        sim = Simulator()
+        network = Network(sim, 4, GIGE_40)
+        directory = CentralizedDirectory(sim, network, home=0)
+        mailbox = network.register(2, "client")
+        directory.lookup_from(2, "client", request_id=42)
+        replies = []
+
+        def collect():
+            message = yield mailbox.get()
+            replies.append(message)
+
+        sim.process(collect())
+        sim.run()
+        request_id, location = replies[0].payload
+        assert request_id == 42
+        assert 0 <= location < 4
+        assert directory.lookups == 1
+
+    def test_lookups_serialize(self):
+        """Concurrent lookups queue at the single directory server."""
+        sim = Simulator()
+        network = Network(sim, 2, GIGE_40)
+        directory = CentralizedDirectory(
+            sim, network, home=0, lookups_per_second=10.0
+        )
+        mailbox = network.register(1, "client")
+        for request_id in range(3):
+            directory.lookup_from(1, "client", request_id)
+        arrival_times = []
+
+        def collect():
+            for _ in range(3):
+                yield mailbox.get()
+                arrival_times.append(sim.now)
+
+        sim.process(collect())
+        sim.run()
+        gaps = np.diff(arrival_times)
+        assert (gaps > 0.09).all()  # ~0.1 s service time each
+
+
+class TestFio:
+    def test_measured_matches_closed_form(self):
+        from repro.store.fio import effective_bandwidth, measure_sequential_bandwidth
+
+        result = measure_sequential_bandwidth(
+            SSD_480GB, chunk_bytes=4 * 1024 * 1024, total_bytes=10**9
+        )
+        assert result.bandwidth == pytest.approx(
+            effective_bandwidth(SSD_480GB, 4 * 1024 * 1024), rel=1e-6
+        )
+
+    def test_latency_degrades_small_chunks(self):
+        from repro.store.fio import measure_sequential_bandwidth
+
+        big = measure_sequential_bandwidth(
+            SSD_480GB, chunk_bytes=4 * 1024 * 1024, total_bytes=10**8
+        )
+        small = measure_sequential_bandwidth(
+            SSD_480GB, chunk_bytes=16 * 1024, total_bytes=10**7
+        )
+        assert small.bandwidth < big.bandwidth
+        # 4 MB chunks get within 2% of the line rate (the paper's point
+        # about the chunk size being "large enough to appear sequential").
+        assert big.bandwidth > 0.98 * SSD_480GB.bandwidth
+
+    def test_summary_mentions_device(self):
+        from repro.store.fio import measure_sequential_bandwidth
+
+        result = measure_sequential_bandwidth(
+            HDD_RAID0, chunk_bytes=1 << 20, total_bytes=10**8
+        )
+        assert "HDD" in result.summary()
+
+    def test_invalid_parameters(self):
+        from repro.store.fio import measure_sequential_bandwidth
+
+        with pytest.raises(ValueError):
+            measure_sequential_bandwidth(SSD_480GB, chunk_bytes=0)
+        with pytest.raises(ValueError):
+            measure_sequential_bandwidth(
+                SSD_480GB, chunk_bytes=1024, total_bytes=10
+            )

@@ -54,6 +54,7 @@ from repro.graph import (
     to_undirected,
 )
 from repro.net import GIGE_1, GIGE_40, NetworkConfig
+from repro.obs import Tracer, summarize_trace_file, write_chrome_trace
 from repro.perf import (
     ActivityProfile,
     bfs_profile,
@@ -89,6 +90,7 @@ __all__ = [
     "SSD_480GB",
     "SSSP",
     "SpMV",
+    "Tracer",
     "WCC",
     "bfs_profile",
     "data_commons_like",
@@ -102,5 +104,7 @@ __all__ = [
     "run_mcst",
     "run_scc",
     "run_xstream",
+    "summarize_trace_file",
     "to_undirected",
+    "write_chrome_trace",
 ]

@@ -16,10 +16,11 @@ single :class:`~repro.core.metrics.JobResult`.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.metrics import Breakdown, JobResult
+from repro.core.metrics import BREAKDOWN_CATEGORIES, Breakdown, JobResult
 
 
 @dataclass
@@ -86,5 +87,34 @@ class DriverResult:
     def summary(self) -> str:
         return (
             f"{self.algorithm}: m={self.machines} runtime={self.runtime:.3f}s "
-            f"rounds={self.rounds} jobs={len(self.jobs)}"
+            f"rounds={self.rounds} jobs={len(self.jobs)} "
+            f"net={self.network_bytes / 1e6:.1f} MB"
         )
+
+    def to_dict(self) -> dict:
+        """Machine-readable aggregate, with per-job payloads nested."""
+        breakdown = self.total_breakdown()
+        return {
+            "algorithm": self.algorithm,
+            "machines": self.machines,
+            "runtime": self.runtime,
+            "rounds": self.rounds,
+            "iterations": self.iterations,
+            "preprocessing_seconds": self.preprocessing_seconds,
+            "storage_bytes": self.storage_bytes,
+            "network_bytes": self.network_bytes,
+            "aggregate_bandwidth": self.aggregate_bandwidth,
+            "steals_accepted": self.steals_accepted,
+            "steals_rejected": self.steals_rejected,
+            "checkpoints": self.checkpoints,
+            "breakdown": {
+                category: getattr(breakdown, category)
+                for category in BREAKDOWN_CATEGORIES
+            },
+            "jobs": [job.to_dict() for job in self.jobs],
+            "value_keys": sorted(self.values) if self.values else [],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` payload serialized deterministically."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

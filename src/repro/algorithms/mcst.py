@@ -190,6 +190,7 @@ class _HookPropagate(GasAlgorithm):
 def run_mcst(
     edges: EdgeList,
     config: Optional[ClusterConfig] = None,
+    tracer=None,
     **config_overrides,
 ) -> DriverResult:
     """Compute the minimum spanning forest of an undirected weighted graph.
@@ -216,13 +217,15 @@ def run_mcst(
 
     while current.num_edges > 0:
         rounds += 1
-        cluster = ChaosCluster(config)
+        cluster = ChaosCluster(config, tracer=tracer)
         pick_job = cluster.run(_MinEdgePick(), current)
         jobs.append(pick_job)
         chosen = pick_job.values["chosen"]
         chosen_weight = pick_job.values["chosen_weight"]
 
-        hook_job = ChaosCluster(config).run(_HookPropagate(chosen), current)
+        hook_job = ChaosCluster(config, tracer=tracer).run(
+            _HookPropagate(chosen), current
+        )
         jobs.append(hook_job)
         comp_round = hook_job.values["comp"]
 

@@ -147,6 +147,7 @@ def run_scc(
     edges: EdgeList,
     config: Optional[ClusterConfig] = None,
     max_rounds: int = 10_000,
+    tracer=None,
     **config_overrides,
 ) -> DriverResult:
     """Compute SCCs of a directed graph.
@@ -174,13 +175,13 @@ def run_scc(
         color = np.arange(num_vertices, dtype=np.int64)
         color[assigned] = -1
 
-        forward = ChaosCluster(config).run(
+        forward = ChaosCluster(config, tracer=tracer).run(
             _ForwardColor(assigned, color), edges
         )
         jobs.append(forward)
         color = forward.values["color"]
 
-        backward = ChaosCluster(config).run(
+        backward = ChaosCluster(config, tracer=tracer).run(
             _BackwardConfirm(assigned, color), reversed_edges
         )
         jobs.append(backward)

@@ -13,6 +13,9 @@ Commands
     aggregate bandwidth for a trillion-edge-class job.
 ``utilization``
     The closed-form storage-utilization table of Figure 5.
+``trace-report``
+    Summarize a ``--trace`` JSON file in the terminal: per-device and
+    per-NIC utilization, breakdown categories, top spans, counters.
 """
 
 from __future__ import annotations
@@ -110,6 +113,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--aggregate-updates", action="store_true")
     run.add_argument("--partitions-per-machine", type=int, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="print the result as JSON instead of text")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace_event JSON file")
+    run.add_argument("--trace-sample-interval", type=float, default=0.001,
+                     metavar="SECONDS",
+                     help="counter sampling period in simulated seconds "
+                          "(0 disables time-series sampling)")
+    run.add_argument("--trace-csv", metavar="PATH",
+                     help="also dump the counter time series as CSV")
 
     capacity = commands.add_parser(
         "capacity", help="paper-scale capacity projection (model mode)"
@@ -127,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "utilization", help="theoretical utilization table (Figure 5)"
     )
     util.add_argument("--max-machines", type=int, default=32)
+
+    report = commands.add_parser(
+        "trace-report", help="summarize a --trace JSON file"
+    )
+    report.add_argument("path", help="trace file written by run --trace")
+    report.add_argument("--top", type=int, default=12,
+                        help="span rows to show (by total time)")
 
     return parser
 
@@ -189,19 +209,47 @@ def _command_run(args) -> int:
         partitions_per_machine=args.partitions_per_machine,
         seed=args.seed,
     )
-    print(f"graph: {graph}")
-    print(
-        f"cluster: {config.machines} machines, {config.device.name}, "
-        f"{config.network.name}, window {config.effective_request_window()}"
-    )
+
+    tracer = None
+    if args.trace or args.trace_csv:
+        from repro.obs import Tracer
+
+        interval = args.trace_sample_interval
+        tracer = Tracer(sample_interval=interval if interval > 0 else None)
+
+    if not args.json:
+        print(f"graph: {graph}")
+        print(
+            f"cluster: {config.machines} machines, {config.device.name}, "
+            f"{config.network.name}, "
+            f"window {config.effective_request_window()}"
+        )
 
     if args.algorithm == "MCST":
-        result = run_mcst(graph, config)
+        result = run_mcst(graph, config, tracer=tracer)
     elif args.algorithm == "SCC":
-        result = run_scc(graph, config)
+        result = run_scc(graph, config, tracer=tracer)
     else:
         algorithm = _make_algorithm(args.algorithm, args, graph)
-        result = run_algorithm(algorithm, graph, config)
+        result = run_algorithm(algorithm, graph, config, tracer=tracer)
+
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_counters_csv
+
+        if args.trace:
+            size = write_chrome_trace(tracer, args.trace)
+            if not args.json:
+                print(f"trace: {len(tracer.events)} events -> "
+                      f"{args.trace} ({size / 1e3:.1f} kB)")
+        if args.trace_csv:
+            write_counters_csv(tracer, args.trace_csv)
+            if not args.json:
+                print(f"counters: {len(tracer.registry.names())} series -> "
+                      f"{args.trace_csv}")
+
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
 
     print()
     print(result.summary())
@@ -257,6 +305,17 @@ def _command_utilization(args) -> int:
     return 0
 
 
+def _command_trace_report(args) -> int:
+    from repro.obs import format_trace_report, summarize_trace_file
+
+    try:
+        summary = summarize_trace_file(args.path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read trace {args.path!r}: {error}")
+    print(format_trace_report(summary, top=args.top))
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -264,8 +323,17 @@ def main(argv: Optional[list] = None) -> int:
         "run": _command_run,
         "capacity": _command_capacity,
         "utilization": _command_utilization,
+        "trace-report": _command_trace_report,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved Unix filter.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

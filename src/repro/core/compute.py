@@ -38,6 +38,7 @@ from repro.core.metrics import Breakdown
 from repro.core.stealing import estimate_cluster_remaining, should_accept_steal
 from repro.core.workload import UpdateBatch, Workload
 from repro.net.transport import Network
+from repro.obs.tracer import NULL_TRACK, TID_ENGINE
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import CoreBank
 from repro.sim.sync import Barrier, WaitGroup
@@ -110,6 +111,7 @@ class ComputationEngine:
         barrier: Barrier,
         directory: Optional[CentralizedDirectory] = None,
         input_bytes_share: int = 0,
+        tracer=None,
     ):
         self.sim = sim
         self.network = network
@@ -121,6 +123,14 @@ class ComputationEngine:
         self.barrier = barrier
         self.directory = directory
         self.input_bytes_share = input_bytes_share
+        # Observability: every span this engine opens carries the
+        # Breakdown category it is accounted under, so a trace's
+        # category totals reconcile with Figure 17 to float precision.
+        if tracer is not None and tracer.enabled:
+            self.track = tracer.thread(machine, TID_ENGINE, "engine")
+        else:
+            self.track = NULL_TRACK
+        self._trace_on = self.track.enabled
 
         self.layout = workload.layout
         self.cores = CoreBank(sim, config.cores, name=f"m{machine}.cores")
@@ -270,6 +280,11 @@ class ComputationEngine:
             self.job.steals_accepted += 1
         else:
             self.job.steals_rejected += 1
+        if self._trace_on:
+            self.track.instant(
+                "steal.accept" if accept else "steal.reject",
+                args={"partition": partition, "proposer": proposer},
+            )
         self.network.send(
             src=self.machine,
             dst=proposer,
@@ -354,6 +369,13 @@ class ComputationEngine:
             self.job.note_scatter(chunk.records, batches)
         else:
             self.workload.gather_chunk(state.partition, state.accum, chunk)
+        if self._trace_on:
+            self.track.instant(
+                "chunk.scatter"
+                if state.kind is ChunkKind.EDGES
+                else "chunk.gather",
+                args={"partition": state.partition, "records": chunk.records},
+            )
         state.processing.done_one()
         self._maybe_finish_stream(state)
 
@@ -519,10 +541,22 @@ class ComputationEngine:
 
     def _work_on_partition(self, partition: int, kind: ChunkKind, master: bool):
         iteration = self.job.iteration
+        track = self.track
+        if self._trace_on:
+            track.begin(
+                f"partition{partition}",
+                args={
+                    "kind": kind.value,
+                    "role": "master" if master else "stealer",
+                    "iteration": iteration,
+                },
+            )
         # 1. Load the vertex set (the steal cost V of Eq. 1).
         t0 = self.sim.now
+        track.begin("vertex_load", cat="copy")
         yield self._load_vertex_set(partition)
         self.metrics.add("copy", self.sim.now - t0)
+        track.end()
 
         if master:
             state = self._master_state[partition]
@@ -534,9 +568,16 @@ class ComputationEngine:
 
         # 2. Stream edge/update chunks through the request window.
         t1 = self.sim.now
+        category = "gp_master" if master else "gp_stolen"
+        track.begin("stream", cat=category)
         stream = self._start_streaming(partition, kind, accum, iteration)
         yield stream.done
-        self.metrics.add("gp_master" if master else "gp_stolen", self.sim.now - t1)
+        self.metrics.add(category, self.sim.now - t1)
+        track.end(
+            args={"chunks": stream.chunks_received, "records": stream.records}
+            if self._trace_on
+            else None
+        )
 
         # 3. Phase-specific completion.
         if kind is ChunkKind.UPDATES:
@@ -547,18 +588,24 @@ class ComputationEngine:
         else:
             if master:
                 self._master_state[partition].closed = True
+        if self._trace_on:
+            track.end()
 
     def _finish_gather_master(self, partition: int, accum, iteration: int):
         state = self._master_state[partition]
         state.closed = True
+        track = self.track
         # Wait for every accepted stealer's accumulator (Figure 4 line 42).
         t0 = self.sim.now
+        track.begin("merge_wait", cat="merge_wait")
         yield state.accum_group.wait()
         self.metrics.add("merge_wait", self.sim.now - t0)
+        track.end()
 
         vertices = self.layout.vertex_count(partition)
         # Merge stealer accumulators, then Apply (folded into gather).
         t1 = self.sim.now
+        track.begin("merge_apply", cat="merge")
         merge_cpu = (
             len(state.accums) * vertices * self.config.cpu_seconds_per_vertex
         )
@@ -570,11 +617,14 @@ class ComputationEngine:
         changed = self.workload.apply_partition(partition, accum, iteration)
         self.job.note_apply(changed)
         self.metrics.add("merge", self.sim.now - t1)
+        track.end()
 
         # Write the vertex set back (only the master writes: Section 6.1).
         t2 = self.sim.now
+        track.begin("vertex_store", cat="copy")
         yield self._store_vertex_set(partition)
         self.metrics.add("copy", self.sim.now - t2)
+        track.end()
 
         # Delete the partition's update set everywhere (Figure 4 line 45).
         for target in range(self.config.machines):
@@ -592,6 +642,7 @@ class ComputationEngine:
         master = partition % self.config.machines
         size = self.workload.accum_bytes(partition)
         t0 = self.sim.now
+        self.track.begin("ship_accum", cat="copy")
         delivered = self.network.send(
             src=self.machine,
             dst=master,
@@ -602,6 +653,7 @@ class ComputationEngine:
         )
         yield delivered
         self.metrics.add("copy", self.sim.now - t0)
+        self.track.end()
 
     # ------------------------------------------------------------------
     # Steal pass (one pass per phase; see module docstring)
@@ -619,6 +671,11 @@ class ComputationEngine:
             request_id = self._new_request_id()
             reply = Event(self.sim, name=f"steal.p{partition}")
             self._pending[request_id] = reply.trigger
+            if self._trace_on:
+                self.track.instant(
+                    "steal.propose",
+                    args={"partition": partition, "master": master},
+                )
             self.network.send(
                 src=self.machine,
                 dst=master,
@@ -656,8 +713,10 @@ class ComputationEngine:
             self._flush_all_buffers()
         # All in-flight chunk writes must land before the barrier.
         t0 = self.sim.now
+        self.track.begin("flush_wait", cat="gp_master")
         yield self._write_group.wait()
         self.metrics.add("gp_master", self.sim.now - t0)
+        self.track.end()
         if self.config.checkpointing:
             yield from self._checkpoint()
 
@@ -668,6 +727,7 @@ class ComputationEngine:
         generation) is a metadata operation once all writes are durable.
         """
         t0 = self.sim.now
+        self.track.begin("checkpoint", cat="copy")
         events = [
             self._store_vertex_set(partition, checkpoint=True)
             for partition in self.my_partitions
@@ -676,11 +736,14 @@ class ComputationEngine:
             yield event
         self.checkpoints_written += len(events)
         self.metrics.add("copy", self.sim.now - t0)
+        self.track.end()
 
     def _enter_barrier(self):
         t0 = self.sim.now
+        self.track.begin("barrier", cat="barrier")
         yield self.barrier.wait()
         self.metrics.add("barrier", self.sim.now - t0)
+        self.track.end()
 
     def _preprocess(self):
         """Simulate this machine's share of the one-pass pre-processing.
@@ -717,19 +780,34 @@ class ComputationEngine:
 
     def main(self):
         """The engine's top-level process (Figure 4 main loop)."""
+        track = self.track
+        track.begin("preprocess")
         yield from self._preprocess()
+        track.end()
+        track.begin("preprocess.barrier")
         yield self.barrier.wait()
+        track.end()
         self.job.note_preprocessing_done(self.sim.now)
 
         while True:
             # -- scatter phase ------------------------------------------
+            if self._trace_on:
+                track.begin("scatter", args={"iteration": self.job.iteration})
             self.job.begin_scatter()
             yield from self._run_phase(ChunkKind.EDGES)
             yield from self._enter_barrier()
-            if self.job.decide_after_scatter(self.barrier.generation):
+            stop = self.job.decide_after_scatter(self.barrier.generation)
+            if self._trace_on:
+                track.end()
+            if stop:
                 break
             # -- gather phase (apply folded in) ---------------------------
+            if self._trace_on:
+                track.begin("gather", args={"iteration": self.job.iteration})
             yield from self._run_phase(ChunkKind.UPDATES)
             yield from self._enter_barrier()
-            if self.job.decide_after_gather(self.barrier.generation):
+            stop = self.job.decide_after_gather(self.barrier.generation)
+            if self._trace_on:
+                track.end()
+            if stop:
                 break

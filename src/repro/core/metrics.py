@@ -16,6 +16,7 @@ bandwidth (Figure 14), bytes moved, and per-iteration statistics.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -129,9 +130,56 @@ class JobResult:
         return sum(s.updates_produced for s in self.iteration_stats)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.algorithm}: m={self.machines} runtime={self.runtime:.3f}s "
             f"iters={self.iterations} "
             f"bw={self.aggregate_bandwidth / 1e6:.1f} MB/s "
-            f"steals={self.steals_accepted}"
+            f"steals={self.steals_accepted} "
+            f"net={self.network_bytes / 1e6:.1f} MB"
         )
+        if self.checkpoints:
+            text += f" checkpoints={self.checkpoints}"
+        return text
+
+    def to_dict(self) -> dict:
+        """Machine-readable result (everything except the vertex arrays).
+
+        ``values`` is summarized by key names only — benchmark scripts
+        that need the arrays have the in-process object.
+        """
+        breakdown = self.total_breakdown()
+        return {
+            "algorithm": self.algorithm,
+            "machines": self.machines,
+            "runtime": self.runtime,
+            "preprocessing_seconds": self.preprocessing_seconds,
+            "iterations": self.iterations,
+            "storage_bytes": self.storage_bytes,
+            "network_bytes": self.network_bytes,
+            "aggregate_bandwidth": self.aggregate_bandwidth,
+            "steals_accepted": self.steals_accepted,
+            "steals_rejected": self.steals_rejected,
+            "checkpoints": self.checkpoints,
+            "updates_written_records": self.updates_written_records,
+            "updates_written_bytes": self.updates_written_bytes,
+            "total_updates": self.total_updates(),
+            "breakdown": {
+                category: getattr(breakdown, category)
+                for category in BREAKDOWN_CATEGORIES
+            },
+            "iteration_stats": [
+                {
+                    "iteration": s.iteration,
+                    "updates_produced": s.updates_produced,
+                    "update_bytes": s.update_bytes,
+                    "edges_streamed": s.edges_streamed,
+                    "vertices_changed": s.vertices_changed,
+                }
+                for s in self.iteration_stats
+            ],
+            "value_keys": sorted(self.values) if self.values else [],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` payload serialized deterministically."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

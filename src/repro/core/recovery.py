@@ -117,6 +117,7 @@ def run_with_failure(
     edges: EdgeList,
     config: ClusterConfig,
     fail_after_iterations: int,
+    tracer=None,
 ) -> RecoveryReport:
     """Run a job that loses a machine after ``fail_after_iterations``.
 
@@ -124,11 +125,24 @@ def run_with_failure(
     algorithm instance (the runs must not share mutable state).  The
     configuration must have ``checkpointing=True`` — recovery without
     checkpoints is impossible, as in the real system.
+
+    With a ``tracer``, the pre-failure run and the re-execution are
+    traced back to back on one timeline, separated by ``failure``,
+    ``restore.begin`` and ``restore.end`` markers on the cluster track
+    (the baseline run is untraced — it exists only for comparison).
     """
     if fail_after_iterations < 1:
         raise ValueError("fail_after_iterations must be >= 1")
     if not config.checkpointing:
         raise ValueError("recovery requires checkpointing=True")
+
+    trace_on = tracer is not None and tracer.enabled
+    cluster_track = None
+    if trace_on:
+        from repro.obs.tracer import TID_JOB
+
+        tracer.set_process(config.machines, "cluster")
+        cluster_track = tracer.thread(config.machines, TID_JOB, "job")
 
     # Undisturbed baseline (also the functional reference).
     baseline = ChaosCluster(config).run(algorithm_factory(), edges)
@@ -138,7 +152,7 @@ def run_with_failure(
     # values at that barrier are exactly what the two-phase checkpoint
     # made durable.
     bounded = _BoundedIterations(algorithm_factory(), failed_iteration)
-    before = ChaosCluster(config).run(bounded, edges)
+    before = ChaosCluster(config, tracer=tracer).run(bounded, edges)
     checkpoint = {
         name: np.copy(array) for name, array in before.values.items()
     }
@@ -154,9 +168,27 @@ def run_with_failure(
     aggregate_bandwidth = config.device.bandwidth * max(1, config.machines - 1)
     restore_seconds = total_vertex_bytes / aggregate_bandwidth
 
+    if trace_on:
+        # Lay the lost half-iteration and the restore I/O on the shared
+        # timeline between the two traced runs; the re-execution's
+        # bind_run() re-bases past these markers automatically.
+        tracer.bind_run(lambda: 0.0)
+        cluster_track.instant(
+            "failure", args={"iteration": failed_iteration}, ts=lost_work
+        )
+        tracer.begin(
+            config.machines, TID_JOB, "restore", cat="restore", ts=lost_work
+        )
+        tracer.end(
+            config.machines,
+            TID_JOB,
+            args={"bytes": int(total_vertex_bytes)},
+            ts=lost_work + restore_seconds,
+        )
+
     # Phase 2: resume from the checkpointed values, continuing the
     # iteration numbering (some algorithms stamp state with it).
-    after = ChaosCluster(config).run(
+    after = ChaosCluster(config, tracer=tracer).run(
         algorithm_factory(),
         edges,
         initial_values=checkpoint,

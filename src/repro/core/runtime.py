@@ -30,6 +30,8 @@ from repro.core.workload import DataWorkload, ModelWorkload, Workload
 from repro.graph.edgelist import EdgeList, bytes_per_edge
 from repro.graph.stats import out_degrees as compute_out_degrees
 from repro.net.transport import Network
+from repro.obs.counters import ResourceSampler
+from repro.obs.tracer import NULL_TRACER, TID_JOB
 from repro.partition.streaming import (
     PartitionLayout,
     choose_partition_count,
@@ -127,9 +129,14 @@ class ChaosCluster:
         self,
         config: ClusterConfig,
         backend_factory: Optional[Callable[[int], object]] = None,
+        tracer=None,
     ):
         self.config = config
         self.backend_factory = backend_factory or (lambda _m: MemoryChunkStore())
+        #: Observability: a :class:`repro.obs.Tracer` records spans,
+        #: instants and counter timelines of every run on this cluster;
+        #: ``None`` (the default) costs nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Introspection handles from the most recent run (protocol
         #: audits and tests): the storage engines and the network.
         self.last_stores: Optional[List[StorageEngine]] = None
@@ -290,6 +297,58 @@ class ChaosCluster:
                 )
                 stores[placement.machine_for(p, index)].preload_chunk(chunk)
 
+    def _make_sampler(
+        self, sim, tracer, stores, network: Network, engines
+    ) -> ResourceSampler:
+        """Periodic per-device / per-NIC / per-core-bank telemetry probes.
+
+        The sampled series reproduce Figure 5-style utilization
+        timelines from a live run: device busy fraction and queue depth,
+        NIC busy fraction, cumulative bytes, and busy cores.
+        """
+        sampler = ResourceSampler(sim, tracer, tracer.sample_interval)
+        for m, store in enumerate(stores):
+            device = store.device
+            sampler.add_probe(
+                f"m{m}.device.busy",
+                m,
+                lambda meter=device.meter: meter.busy_time,
+                mode="busy_fraction",
+            )
+            sampler.add_probe(
+                f"m{m}.device.queue_s", m, device.queue_delay, mode="value"
+            )
+            sampler.add_probe(
+                f"m{m}.device.bytes",
+                m,
+                lambda meter=device.meter: meter.bytes_served,
+                mode="value",
+            )
+        for m, nic in enumerate(network.nics):
+            sampler.add_probe(
+                f"m{m}.nic.tx.busy",
+                m,
+                lambda meter=nic.egress.meter: meter.busy_time,
+                mode="busy_fraction",
+            )
+            sampler.add_probe(
+                f"m{m}.nic.rx.busy",
+                m,
+                lambda meter=nic.ingress.meter: meter.busy_time,
+                mode="busy_fraction",
+            )
+            sampler.add_probe(
+                f"m{m}.nic.tx.bytes", m, nic.bytes_sent, mode="value"
+            )
+            sampler.add_probe(
+                f"m{m}.nic.rx.bytes", m, nic.bytes_received, mode="value"
+            )
+        for m, engine in enumerate(engines):
+            sampler.add_probe(
+                f"m{m}.cores.busy", m, engine.cores.busy_cores, mode="value"
+            )
+        return sampler
+
     def _execute(
         self,
         workload: Workload,
@@ -300,10 +359,26 @@ class ChaosCluster:
     ) -> JobResult:
         config = self.config
         sim = Simulator()
-        network = Network(sim, config.machines, config.network)
+        tracer = self.tracer
+        job_track = None
+        if tracer.enabled:
+            tracer.bind_run(lambda: sim.now)
+            for m in range(config.machines):
+                tracer.set_process(m, f"machine{m}")
+            tracer.set_process(config.machines, "cluster")
+            job_track = tracer.thread(config.machines, TID_JOB, "job")
+            sim.process_hook = lambda process, phase: job_track.instant(
+                f"process.{phase}", args={"name": process.name}
+            )
+        network = Network(sim, config.machines, config.network, tracer=tracer)
         stores = [
             StorageEngine(
-                sim, network, m, config.device, self.backend_factory(m)
+                sim,
+                network,
+                m,
+                config.device,
+                self.backend_factory(m),
+                tracer=tracer,
             )
             for m in range(config.machines)
         ]
@@ -337,14 +412,25 @@ class ChaosCluster:
                 barrier=barrier,
                 directory=directory,
                 input_bytes_share=per_machine_input,
+                tracer=tracer,
             )
             for m in range(config.machines)
         ]
+        sampler = None
+        if tracer.enabled and tracer.sample_interval is not None:
+            sampler = self._make_sampler(sim, tracer, stores, network, engines)
+            sampler.start()
         processes = [
             sim.process(engine.main(), name=f"engine{m}")
             for m, engine in enumerate(engines)
         ]
         sim.run_until(sim.all_of([p.finished for p in processes]))
+        if sampler is not None:
+            sampler.sample()  # close the timelines at the finish line
+        if job_track is not None:
+            job_track.instant(
+                "job.done", args={"algorithm": workload.algorithm.name}
+            )
         self.last_stores = stores
         self.last_network = network
 
@@ -374,14 +460,18 @@ def run_algorithm(
     algorithm: GasAlgorithm,
     edges: EdgeList,
     config: Optional[ClusterConfig] = None,
+    tracer=None,
     **config_overrides,
 ) -> JobResult:
     """Convenience one-shot entry point.
 
     >>> result = run_algorithm(PageRank(iterations=5), graph, machines=4)
+
+    Pass ``tracer=repro.obs.Tracer()`` to record spans and utilization
+    timelines of the run (see :mod:`repro.obs`).
     """
     if config is None:
         config = ClusterConfig(**config_overrides)
     elif config_overrides:
         config = config.with_(**config_overrides)
-    return ChaosCluster(config).run(algorithm, edges)
+    return ChaosCluster(config, tracer=tracer).run(algorithm, edges)

@@ -45,7 +45,13 @@ class Network:
     #: Fixed per-message protocol overhead in bytes (headers, framing).
     MESSAGE_OVERHEAD = 64
 
-    def __init__(self, sim: Simulator, machines: int, config: NetworkConfig):
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: int,
+        config: NetworkConfig,
+        tracer=None,
+    ):
         if machines < 1:
             raise ValueError(f"need at least one machine, got {machines}")
         self.sim = sim
@@ -54,6 +60,17 @@ class Network:
         self.switch = Switch(sim, config)
         self.nics = [Nic(sim, machine, config) for machine in range(machines)]
         self._mailboxes: Dict[Tuple[int, str], Mailbox] = {}
+        self._trace_on = tracer is not None and tracer.enabled
+        if self._trace_on:
+            from repro.obs.tracer import TID_NIC_RX, TID_NIC_TX
+
+            for machine, nic in enumerate(self.nics):
+                nic.egress.enable_trace(
+                    tracer.thread(machine, TID_NIC_TX, "nic.tx"), label="tx"
+                )
+                nic.ingress.enable_trace(
+                    tracer.thread(machine, TID_NIC_RX, "nic.rx"), label="rx"
+                )
 
     # -- service registry ----------------------------------------------
 
@@ -112,7 +129,8 @@ class Network:
             return delivered
 
         wire_size = size + self.MESSAGE_OVERHEAD
-        tx_done = self.nics[src].egress.service(wire_size)
+        label = f"tx:{kind}" if self._trace_on else None
+        tx_done = self.nics[src].egress.service(wire_size, label=label)
 
         def after_tx(_event: Event) -> None:
             hop_latency = self.switch.forward(wire_size)
@@ -130,7 +148,8 @@ class Network:
         message: Message,
         delivered: Event,
     ) -> None:
-        rx_done = self.nics[dst].ingress.service(wire_size)
+        label = f"rx:{message.kind}" if self._trace_on else None
+        rx_done = self.nics[dst].ingress.service(wire_size, label=label)
         rx_done.subscribe(lambda _e: self._deliver(mailbox, message, delivered))
 
     @staticmethod

@@ -1,0 +1,79 @@
+"""Observability: tracing, time-series telemetry and trace exporters.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.tracer` — a zero-cost-when-disabled :class:`Tracer`
+  keyed to the simulated clock, recording typed spans, instants and
+  counters on per-machine engine/device/NIC tracks;
+* :mod:`repro.obs.counters` — :class:`CounterRegistry` time series plus
+  the :class:`ResourceSampler` process that snapshots device and NIC
+  meters periodically (Fig. 5-style utilization timelines from a live
+  run);
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome/Perfetto
+  ``trace_event`` JSON, flat CSV of every time series, and the terminal
+  summary behind ``repro trace-report``.
+
+Typical use::
+
+    from repro import ClusterConfig, PageRank, rmat_graph, run_algorithm
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer(sample_interval=1e-3)
+    result = run_algorithm(PageRank(iterations=5), rmat_graph(12),
+                           machines=4, tracer=tracer)
+    write_chrome_trace(tracer, "run.trace.json")   # open in Perfetto
+"""
+
+from repro.obs.counters import CounterRegistry, ResourceSampler, TimeSeries
+from repro.obs.export import (
+    chrome_trace_dict,
+    dumps_chrome_trace,
+    write_chrome_trace,
+    write_counters_csv,
+)
+from repro.obs.report import (
+    TraceSummary,
+    format_trace_report,
+    load_trace,
+    summarize_trace,
+    summarize_trace_file,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NULL_TRACK,
+    TID_DEVICE,
+    TID_ENGINE,
+    TID_JOB,
+    TID_NIC_RX,
+    TID_NIC_TX,
+    NullTracer,
+    TraceError,
+    Tracer,
+    Track,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "NULL_TRACER",
+    "NULL_TRACK",
+    "NullTracer",
+    "ResourceSampler",
+    "TID_DEVICE",
+    "TID_ENGINE",
+    "TID_JOB",
+    "TID_NIC_RX",
+    "TID_NIC_TX",
+    "TimeSeries",
+    "TraceError",
+    "TraceSummary",
+    "Tracer",
+    "Track",
+    "chrome_trace_dict",
+    "dumps_chrome_trace",
+    "format_trace_report",
+    "load_trace",
+    "summarize_trace",
+    "summarize_trace_file",
+    "write_chrome_trace",
+    "write_counters_csv",
+]

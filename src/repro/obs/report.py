@@ -1,0 +1,244 @@
+"""Trace analysis: summarize a saved Chrome-trace JSON file.
+
+``repro trace-report out.json`` (and the test-suite reconciliation
+against :class:`repro.core.metrics.Breakdown`) are built on
+:func:`summarize_trace`, which replays a trace file into:
+
+* per-device and per-NIC busy time and utilization (from the complete
+  spans on the device/NIC tracks);
+* a span summary aggregated by name (count, total, mean);
+* per-category totals for the nested engine spans — the categories are
+  the Figure 17 breakdown categories, so these totals reconcile with
+  ``JobResult.total_breakdown()`` to float precision;
+* instant-event counts (steal traffic, chunk completions) and counter
+  series statistics (mean/peak of each sampled timeline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.metrics import BREAKDOWN_CATEGORIES
+
+#: Trace Event Format microseconds → seconds.
+_SECONDS = 1e-6
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of all spans sharing a name."""
+
+    count: int = 0
+    total: float = 0.0  # seconds
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class CounterStats:
+    samples: int = 0
+    total: float = 0.0
+    peak: float = 0.0
+
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the text report (and the tests) read from a trace."""
+
+    #: End of the trace in simulated seconds (largest event timestamp).
+    duration: float = 0.0
+    processes: Dict[int, str] = field(default_factory=dict)
+    threads: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: Busy seconds per (pid, tid) track, from complete ("X") spans.
+    track_busy: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Bytes moved per (pid, tid) track (sum of span ``bytes`` args).
+    track_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    #: Figure 17 category totals summed over every engine track.
+    category_seconds: Dict[str, float] = field(default_factory=dict)
+    instants: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, CounterStats] = field(default_factory=dict)
+    begin_events: int = 0
+    end_events: int = 0
+    unbalanced_spans: int = 0
+    total_events: int = 0
+
+    def thread_name(self, pid: int, tid: int) -> str:
+        return self.threads.get((pid, tid), f"tid{tid}")
+
+    def utilization(self, pid: int, tid: int) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.track_busy.get((pid, tid), 0.0) / self.duration
+
+    def tracks_matching(self, prefix: str) -> List[Tuple[int, int]]:
+        """Tracks whose thread name starts with ``prefix``, pid-ordered."""
+        return sorted(
+            key for key, name in self.threads.items()
+            if name.startswith(prefix)
+        )
+
+
+def load_trace(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    if "traceEvents" not in data:
+        raise ValueError(f"{path}: not a Chrome trace (no 'traceEvents')")
+    return data
+
+
+def summarize_trace(trace: dict) -> TraceSummary:
+    """Digest a loaded Trace Event Format document."""
+    summary = TraceSummary()
+    open_spans: Dict[Tuple[int, int], List[Tuple[str, str, float]]] = {}
+    for event in trace["traceEvents"]:
+        ph = event["ph"]
+        key = (event["pid"], event["tid"])
+        if ph == "M":
+            if event["name"] == "process_name":
+                summary.processes[event["pid"]] = event["args"]["name"]
+            elif event["name"] == "thread_name":
+                summary.threads[key] = event["args"]["name"]
+            continue
+        summary.total_events += 1
+        ts = event["ts"] * _SECONDS
+        end = ts
+        if ph == "B":
+            summary.begin_events += 1
+            open_spans.setdefault(key, []).append(
+                (event["name"], event.get("cat"), ts)
+            )
+        elif ph == "E":
+            summary.end_events += 1
+            stack = open_spans.get(key)
+            if not stack:
+                summary.unbalanced_spans += 1
+                continue
+            name, cat, begin_ts = stack.pop()
+            duration = ts - begin_ts
+            stats = summary.spans.setdefault(name, SpanStats())
+            stats.count += 1
+            stats.total += duration
+            if cat in BREAKDOWN_CATEGORIES:
+                summary.category_seconds[cat] = (
+                    summary.category_seconds.get(cat, 0.0) + duration
+                )
+        elif ph == "X":
+            duration = event.get("dur", 0.0) * _SECONDS
+            end = ts + duration
+            stats = summary.spans.setdefault(event["name"], SpanStats())
+            stats.count += 1
+            stats.total += duration
+            summary.track_busy[key] = (
+                summary.track_busy.get(key, 0.0) + duration
+            )
+            size = event.get("args", {}).get("bytes")
+            if size is not None:
+                summary.track_bytes[key] = (
+                    summary.track_bytes.get(key, 0) + int(size)
+                )
+        elif ph == "i":
+            summary.instants[event["name"]] = (
+                summary.instants.get(event["name"], 0) + 1
+            )
+        elif ph == "C":
+            stats = summary.counters.setdefault(event["name"], CounterStats())
+            value = event["args"]["value"]
+            stats.samples += 1
+            stats.total += value
+            stats.peak = max(stats.peak, value)
+        if end > summary.duration:
+            summary.duration = end
+    summary.unbalanced_spans += sum(len(s) for s in open_spans.values())
+    return summary
+
+
+def summarize_trace_file(path: str) -> TraceSummary:
+    return summarize_trace(load_trace(path))
+
+
+def format_trace_report(summary: TraceSummary, top: int = 12) -> str:
+    """Render the terminal report for ``repro trace-report``."""
+    lines: List[str] = []
+    lines.append(
+        f"trace: {summary.duration:.6f}s simulated, "
+        f"{summary.total_events} events, "
+        f"{len(summary.processes)} processes"
+    )
+
+    device_tracks = summary.tracks_matching("device")
+    if device_tracks:
+        lines.append("")
+        lines.append("per-device utilization:")
+        for pid, tid in device_tracks:
+            process = summary.processes.get(pid, f"pid{pid}")
+            busy = summary.track_busy.get((pid, tid), 0.0)
+            moved = summary.track_bytes.get((pid, tid), 0)
+            lines.append(
+                f"  {process:<10s} {summary.thread_name(pid, tid):<16s} "
+                f"busy {summary.utilization(pid, tid):6.1%}  "
+                f"({busy:.6f}s, {moved / 1e6:.1f} MB)"
+            )
+
+    nic_tracks = summary.tracks_matching("nic.")
+    if nic_tracks:
+        lines.append("")
+        lines.append("per-NIC utilization:")
+        for pid, tid in nic_tracks:
+            process = summary.processes.get(pid, f"pid{pid}")
+            moved = summary.track_bytes.get((pid, tid), 0)
+            lines.append(
+                f"  {process:<10s} {summary.thread_name(pid, tid):<16s} "
+                f"busy {summary.utilization(pid, tid):6.1%}  "
+                f"({moved / 1e6:.1f} MB)"
+            )
+
+    if summary.category_seconds:
+        lines.append("")
+        lines.append("breakdown categories (engine spans, summed):")
+        total = sum(summary.category_seconds.values())
+        for cat in BREAKDOWN_CATEGORIES:
+            seconds = summary.category_seconds.get(cat, 0.0)
+            share = seconds / total if total > 0 else 0.0
+            lines.append(f"  {cat:<11s} {seconds:12.6f}s  {share:6.1%}")
+
+    if summary.spans:
+        lines.append("")
+        lines.append(f"top spans by total time (of {len(summary.spans)}):")
+        ranked = sorted(
+            summary.spans.items(), key=lambda kv: (-kv[1].total, kv[0])
+        )
+        for name, stats in ranked[:top]:
+            lines.append(
+                f"  {name:<24s} n={stats.count:<6d} "
+                f"total={stats.total:10.6f}s  mean={stats.mean() * 1e6:10.2f}us"
+            )
+
+    if summary.instants:
+        lines.append("")
+        lines.append("instant events:")
+        for name in sorted(summary.instants):
+            lines.append(f"  {name:<24s} {summary.instants[name]}")
+
+    if summary.counters:
+        lines.append("")
+        lines.append(f"counter series ({len(summary.counters)}):")
+        for name in sorted(summary.counters):
+            stats = summary.counters[name]
+            lines.append(
+                f"  {name:<24s} samples={stats.samples:<6d} "
+                f"mean={stats.mean():.4g}  peak={stats.peak:.4g}"
+            )
+
+    if summary.unbalanced_spans:
+        lines.append("")
+        lines.append(
+            f"WARNING: {summary.unbalanced_spans} unbalanced span events"
+        )
+    return "\n".join(lines)

@@ -179,6 +179,11 @@ class Process:
         # Start the process at the current simulated time, but *after*
         # the caller finishes its own step: schedule with zero delay.
         sim.schedule(0.0, self._resume, None, None)
+        # Lifecycle hook (observability): announce creation/completion.
+        hook = sim.process_hook
+        if hook is not None:
+            hook(self, "start")
+            self.finished.subscribe(lambda _e: hook(self, "finish"))
 
     @property
     def alive(self) -> bool:
@@ -245,6 +250,10 @@ class Simulator:
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._running = False
+        #: Optional lifecycle hook ``fn(process, phase)`` invoked with
+        #: ``phase in ("start", "finish")`` for every process — the
+        #: tracer uses it for process naming; ``None`` costs nothing.
+        self.process_hook: Optional[Callable[["Process", str], None]] = None
 
     # -- scheduling ---------------------------------------------------
 

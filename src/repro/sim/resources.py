@@ -66,7 +66,16 @@ class FifoServer:
     single ``busy_until`` timestamp.
     """
 
-    __slots__ = ("sim", "name", "bandwidth", "latency", "_busy_until", "meter")
+    __slots__ = (
+        "sim",
+        "name",
+        "bandwidth",
+        "latency",
+        "_busy_until",
+        "meter",
+        "_trace_track",
+        "_trace_label",
+    )
 
     def __init__(
         self,
@@ -85,12 +94,30 @@ class FifoServer:
         self.latency = float(latency)
         self._busy_until = 0.0
         self.meter = UtilizationMeter()
+        self._trace_track = None
+        self._trace_label = name or "service"
+
+    def enable_trace(self, track, label: str = "") -> None:
+        """Record every service interval as a span on ``track``.
+
+        FIFO discipline guarantees the intervals on one server never
+        overlap, so they form a well-defined busy timeline.
+        """
+        self._trace_track = track
+        if label:
+            self._trace_label = label
 
     def service_time(self, size: float) -> float:
         return self.latency + size / self.bandwidth
 
-    def service(self, size: float, value: Any = None) -> Event:
-        """Enqueue a request of ``size`` bytes; event fires at completion."""
+    def service(
+        self, size: float, value: Any = None, label: Optional[str] = None
+    ) -> Event:
+        """Enqueue a request of ``size`` bytes; event fires at completion.
+
+        ``label`` overrides the span name when tracing is enabled (the
+        storage/network layers pass the operation kind).
+        """
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         start = max(self.sim.now, self._busy_until)
@@ -98,6 +125,14 @@ class FifoServer:
         finish = start + duration
         self._busy_until = finish
         self.meter.record(duration, size)
+        track = self._trace_track
+        if track is not None:
+            track.complete(
+                label or self._trace_label,
+                start,
+                duration,
+                args={"bytes": int(size)},
+            )
         event = Event(self.sim, name=f"{self.name}.service")
         self.sim.schedule_at(finish, event.trigger, value)
         return event
@@ -144,6 +179,12 @@ class CoreBank:
 
     def earliest_free(self) -> float:
         return self._free_at[0]
+
+    def busy_cores(self, now: Optional[float] = None) -> int:
+        """Cores still running a job at time ``now`` (telemetry probe)."""
+        if now is None:
+            now = self.sim.now
+        return sum(1 for free_at in self._free_at if free_at > now)
 
 
 class Semaphore:

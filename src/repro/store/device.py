@@ -34,6 +34,10 @@ class DeviceSpec:
         """Time to read or write one chunk of ``size`` bytes."""
         return self.latency + size / self.bandwidth
 
+    def track_label(self) -> str:
+        """Trace-track name for this device ("device:SSD" etc.)."""
+        return f"device:{self.name}"
+
 
 #: The cluster's SSD: 400 MB/s; latency equal to the 40 GigE round trip
 #: (2 x 50 microseconds), as the paper measured.

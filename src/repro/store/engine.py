@@ -49,6 +49,7 @@ class StorageEngine:
         machine: int,
         device: DeviceSpec,
         backend,
+        tracer=None,
     ):
         self.sim = sim
         self.network = network
@@ -61,6 +62,14 @@ class StorageEngine:
             name=f"m{machine}.{device.name}",
         )
         self.backend = backend
+        self._trace_on = tracer is not None and tracer.enabled
+        if self._trace_on:
+            from repro.obs.tracer import TID_DEVICE
+
+            self.device.enable_trace(
+                tracer.thread(machine, TID_DEVICE, device.track_label()),
+                label="io",
+            )
         self._mailbox = network.register(machine, SERVICE)
         self.reads_served = 0
         self.writes_served = 0
@@ -138,7 +147,8 @@ class StorageEngine:
             return
         self.reads_served += 1
         self.reads_by_kind[kind] += 1
-        done = self.device.service(chunk.size)
+        label = f"read:{kind.value}:p{partition}" if self._trace_on else None
+        done = self.device.service(chunk.size, label=label)
         done.subscribe(
             lambda _e: self._reply(
                 requester,
@@ -152,7 +162,12 @@ class StorageEngine:
     def _handle_write(self, message) -> None:
         request_id, requester, reply_service, chunk = message.payload
         self.writes_served += 1
-        done = self.device.service(chunk.size)
+        label = (
+            f"write:{chunk.kind.value}:p{chunk.partition}"
+            if self._trace_on
+            else None
+        )
+        done = self.device.service(chunk.size, label=label)
 
         def complete(_event: Event) -> None:
             self.backend.append_chunk(chunk)
@@ -180,7 +195,8 @@ class StorageEngine:
             return
         self.reads_served += 1
         self.reads_by_kind[ChunkKind.VERTICES] += 1
-        done = self.device.service(chunk.size)
+        label = f"vread:p{partition}" if self._trace_on else None
+        done = self.device.service(chunk.size, label=label)
         done.subscribe(
             lambda _e: self._reply(
                 requester,
@@ -194,7 +210,8 @@ class StorageEngine:
     def _handle_vwrite(self, message) -> None:
         request_id, requester, reply_service, chunk = message.payload
         self.writes_served += 1
-        done = self.device.service(chunk.size)
+        label = f"vwrite:p{chunk.partition}" if self._trace_on else None
+        done = self.device.service(chunk.size, label=label)
 
         def complete(_event: Event) -> None:
             self.backend.put_vertex_chunk(chunk)
@@ -217,7 +234,8 @@ class StorageEngine:
         """
         request_id, requester, reply_service, size = message.payload
         self.writes_served += 1
-        done = self.device.service(size)
+        label = "pwrite" if self._trace_on else None
+        done = self.device.service(size, label=label)
         done.subscribe(
             lambda _e: self._reply(
                 requester,

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -101,6 +103,81 @@ class TestRun:
     def test_input_requires_vertices(self):
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "PR", "--input", "x.bin"])
+
+    def test_json_output(self, capsys):
+        out = self._run(capsys, "--algorithm", "PR", "--iterations", "2",
+                        "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "PR"
+        assert payload["machines"] == 2
+        assert payload["network_bytes"] > 0
+        assert "breakdown" in payload
+
+    def test_json_output_driver(self, capsys):
+        out = self._run(capsys, "--algorithm", "SCC", "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "SCC"
+        assert payload["rounds"] >= 1
+
+
+class TestTrace:
+    def _run_traced(self, capsys, trace_path, *extra):
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                "PR",
+                "--iterations",
+                "3",
+                "--scale",
+                "8",
+                "--machines",
+                "2",
+                "--chunk-kb",
+                "4",
+                "--trace",
+                trace_path,
+                *extra,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_trace_file_is_valid_and_deterministic(self, tmp_path, capsys):
+        path_a = str(tmp_path / "a.json")
+        path_b = str(tmp_path / "b.json")
+        self._run_traced(capsys, path_a)
+        self._run_traced(capsys, path_b)
+        bytes_a = open(path_a, "rb").read()
+        bytes_b = open(path_b, "rb").read()
+        assert bytes_a == bytes_b
+        trace = json.loads(bytes_a)
+        events = trace["traceEvents"]
+        assert events
+        data = [e for e in events if e["ph"] != "M"]
+        assert all("ts" in e and "pid" in e and "tid" in e and "name" in e
+                   for e in data)
+
+    def test_trace_report(self, tmp_path, capsys):
+        path = str(tmp_path / "t.json")
+        self._run_traced(capsys, path)
+        assert main(["trace-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "per-device utilization" in out
+        assert "breakdown categories" in out
+        assert "top spans" in out
+
+    def test_trace_csv(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        csv = str(tmp_path / "t.csv")
+        self._run_traced(capsys, trace, "--trace-csv", csv)
+        lines = open(csv).read().splitlines()
+        assert lines[0] == "series,ts,value"
+        assert len(lines) > 1
+
+    def test_trace_report_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace-report", str(tmp_path / "nope.json")])
 
 
 class TestCapacity:

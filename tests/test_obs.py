@@ -1,0 +1,305 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the tracer primitives, the determinism guarantee (same seed →
+byte-identical trace JSON), span nesting balance, the reconciliation of
+trace-derived category totals against the engine ``Breakdown``, the
+counter samplers and both exporters.
+"""
+
+import json
+
+import pytest
+
+from repro import ClusterConfig, PageRank, rmat_graph, run_algorithm
+from repro.algorithms import BFS, run_mcst
+from repro.core.metrics import BREAKDOWN_CATEGORIES
+from repro.core.recovery import run_with_failure
+from repro.graph.convert import to_undirected
+from repro.obs import (
+    CounterRegistry,
+    NULL_TRACER,
+    ResourceSampler,
+    TraceError,
+    Tracer,
+    chrome_trace_dict,
+    dumps_chrome_trace,
+    format_trace_report,
+    summarize_trace,
+    summarize_trace_file,
+    write_chrome_trace,
+    write_counters_csv,
+)
+from repro.obs.tracer import NULL_TRACK, TID_DEVICE, TID_ENGINE, TID_JOB
+from repro.sim.engine import Simulator
+
+
+def _traced_run(sample_interval=1e-3, iterations=3, machines=2):
+    graph = rmat_graph(8, seed=1)
+    tracer = Tracer(sample_interval=sample_interval)
+    result = run_algorithm(
+        PageRank(iterations=iterations),
+        graph,
+        machines=machines,
+        chunk_bytes=4096,
+        tracer=tracer,
+    )
+    return tracer, result
+
+
+class TestTracerPrimitives:
+    def test_nested_spans_balance(self):
+        tracer = Tracer()
+        track = tracer.thread(0, TID_ENGINE)
+        track.begin("outer")
+        track.begin("inner", cat="copy")
+        assert tracer.open_span_count() == 2
+        track.end()
+        track.end()
+        assert tracer.open_span_count() == 0
+        phases = [e["ph"] for e in tracer.events]
+        assert phases == ["B", "B", "E", "E"]
+        # The E event carries the name/cat popped from the stack.
+        assert tracer.events[2]["name"] == "inner"
+        assert tracer.events[2]["cat"] == "copy"
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer()
+        with pytest.raises(TraceError):
+            tracer.end(0, TID_ENGINE)
+
+    def test_negative_complete_duration_raises(self):
+        tracer = Tracer()
+        with pytest.raises(TraceError):
+            tracer.complete(0, TID_DEVICE, "io", start=1.0, duration=-0.5)
+
+    def test_bind_run_rebases_subsequent_runs(self):
+        tracer = Tracer()
+        tracer.bind_run(lambda: 2.0)
+        tracer.instant(0, TID_JOB, "first")
+        assert tracer.end_time == 2.0
+        tracer.bind_run(lambda: 1.0)  # new run, clock restarts
+        tracer.instant(0, TID_JOB, "second")
+        assert tracer.events[1]["ts"] == pytest.approx(3.0)
+        assert tracer.end_time == pytest.approx(3.0)
+
+    def test_null_objects_are_inert(self):
+        assert not NULL_TRACER.enabled
+        track = NULL_TRACER.thread(0, TID_ENGINE)
+        assert track is NULL_TRACK
+        assert not track.enabled
+        track.begin("x")
+        track.end()
+        track.complete("x", 0.0, 1.0)
+        track.instant("x")
+        NULL_TRACER.counter(0, "c", 1.0)
+        NULL_TRACER.bind_run(lambda: 0.0)
+
+    def test_invalid_sample_interval(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_interval=0.0)
+        with pytest.raises(ValueError):
+            Tracer(sample_interval=-1.0)
+
+
+class TestCounters:
+    def test_registry_rows_are_series_sorted(self):
+        registry = CounterRegistry()
+        registry.add("b", 0.0, 1.0)
+        registry.add("a", 0.5, 2.0)
+        registry.add("a", 1.0, 3.0)
+        rows = list(registry.rows())
+        assert rows == [("a", 0.5, 2.0), ("a", 1.0, 3.0), ("b", 0.0, 1.0)]
+        assert registry.get("a").mean() == pytest.approx(2.5)
+        assert registry.get("a").peak() == pytest.approx(3.0)
+
+    def test_sampler_busy_fraction(self):
+        sim = Simulator()
+        tracer = Tracer(sample_interval=1.0)
+        tracer.bind_run(lambda: sim.now)
+        busy = {"t": 0.0}
+        sampler = ResourceSampler(sim, tracer, interval=1.0)
+        sampler.add_probe("dev.busy", 0, lambda: busy["t"],
+                          mode="busy_fraction")
+        sampler.start()
+
+        def load():
+            yield sim.timeout(0.5)
+            busy["t"] = 0.5  # 50% busy over the first interval
+            yield sim.timeout(2.0)
+
+        done = sim.process(load()).finished
+        sim.run_until(done)
+        series = tracer.registry.get("dev.busy")
+        assert series.samples[0] == (1.0, pytest.approx(0.5))
+        assert series.samples[1] == (2.0, pytest.approx(0.0))
+
+
+class TestTracedRun:
+    def test_trace_is_deterministic(self):
+        tracer_a, result_a = _traced_run()
+        tracer_b, result_b = _traced_run()
+        text_a = dumps_chrome_trace(tracer_a)
+        text_b = dumps_chrome_trace(tracer_b)
+        assert text_a == text_b
+        assert result_a.runtime == result_b.runtime
+
+    def test_all_spans_closed_after_run(self):
+        tracer, _ = _traced_run()
+        assert tracer.open_span_count() == 0
+        summary = summarize_trace(chrome_trace_dict(tracer))
+        assert summary.unbalanced_spans == 0
+        assert summary.begin_events == summary.end_events
+        assert summary.begin_events > 0
+
+    def test_category_totals_match_breakdown(self):
+        tracer, result = _traced_run()
+        summary = summarize_trace(chrome_trace_dict(tracer))
+        breakdown = result.total_breakdown()
+        for category in BREAKDOWN_CATEGORIES:
+            assert summary.category_seconds.get(category, 0.0) == pytest.approx(
+                getattr(breakdown, category), abs=1e-6
+            )
+
+    def test_tracing_does_not_change_results(self):
+        graph = rmat_graph(8, seed=1)
+        plain = run_algorithm(PageRank(iterations=3), graph, machines=2,
+                              chunk_bytes=4096)
+        tracer = Tracer(sample_interval=1e-3)
+        traced = run_algorithm(PageRank(iterations=3), graph, machines=2,
+                               chunk_bytes=4096, tracer=tracer)
+        assert traced.runtime == plain.runtime
+        assert traced.storage_bytes == plain.storage_bytes
+        assert traced.network_bytes == plain.network_bytes
+
+    def test_chrome_trace_structure(self):
+        tracer, _ = _traced_run()
+        trace = chrome_trace_dict(tracer)
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+        assert any(e["ph"] == "M" and e["name"] == "thread_name"
+                   for e in events)
+        data = [e for e in events if e["ph"] not in ("M",)]
+        assert all("ts" in e and "pid" in e and "tid" in e and "name" in e
+                   for e in data)
+        # Data events are time-ordered (microseconds).
+        ts = [e["ts"] for e in data]
+        assert ts == sorted(ts)
+        instants = [e for e in data if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+        assert any(e["ph"] == "X" and e["dur"] >= 0 for e in data)
+
+    def test_counter_series_sampled(self):
+        tracer, _ = _traced_run()
+        names = tracer.registry.names()
+        assert "m0.device.busy" in names
+        assert "m0.nic.tx.busy" in names
+        assert "m1.cores.busy" in names
+        busy = tracer.registry.get("m0.device.busy")
+        assert 0.0 <= busy.peak() <= 1.0
+        assert busy.samples  # periodic + final snapshot
+
+    def test_sampling_disabled_keeps_spans(self):
+        tracer, _ = _traced_run(sample_interval=None)
+        assert tracer.registry.names() == []
+        assert any(e["ph"] == "B" for e in tracer.events)
+
+
+class TestExportAndReport:
+    def test_file_roundtrip_and_report(self, tmp_path):
+        tracer, result = _traced_run()
+        path = str(tmp_path / "out.json")
+        size = write_chrome_trace(tracer, path)
+        assert size > 0
+        with open(path) as handle:
+            assert json.load(handle)["traceEvents"]
+        summary = summarize_trace_file(path)
+        breakdown = result.total_breakdown()
+        for category in BREAKDOWN_CATEGORIES:
+            assert summary.category_seconds.get(category, 0.0) == pytest.approx(
+                getattr(breakdown, category), abs=1e-6
+            )
+        report = format_trace_report(summary)
+        assert "per-device utilization" in report
+        assert "breakdown categories" in report
+        assert "gp_master" in report
+
+    def test_counters_csv(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = str(tmp_path / "out.csv")
+        rows = write_counters_csv(tracer, path)
+        lines = open(path).read().splitlines()
+        assert lines[0] == "series,ts,value"
+        assert len(lines) == rows + 1
+        name, ts, value = lines[1].split(",")
+        float(ts), float(value)  # parseable
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            summarize_trace_file(str(path))
+
+
+class TestDriversAndRecovery:
+    def test_mcst_traces_all_rounds(self):
+        graph = to_undirected(rmat_graph(7, seed=3, weighted=True))
+        tracer = Tracer(sample_interval=None)
+        result = run_mcst(graph, machines=2, chunk_bytes=4096, tracer=tracer)
+        assert tracer.open_span_count() == 0
+        done = [e for e in tracer.events
+                if e["ph"] == "i" and e["name"] == "job.done"]
+        assert len(done) == len(result.jobs)
+        # Runs are laid out sequentially: job.done markers strictly increase.
+        stamps = [e["ts"] for e in done]
+        assert stamps == sorted(stamps) and len(set(stamps)) == len(stamps)
+
+    def test_recovery_trace_has_failure_markers(self):
+        graph = to_undirected(rmat_graph(7, seed=1))
+        config = ClusterConfig(machines=2, chunk_bytes=4096,
+                               checkpointing=True)
+        tracer = Tracer(sample_interval=None)
+        report = run_with_failure(
+            lambda: BFS(root=0), graph, config,
+            fail_after_iterations=1, tracer=tracer,
+        )
+        assert report.result.iterations >= 1
+        assert tracer.open_span_count() == 0
+        summary = summarize_trace(chrome_trace_dict(tracer))
+        assert summary.instants.get("failure") == 1
+        restore = summary.spans.get("restore")
+        assert restore is not None and restore.count == 1
+        assert restore.total == pytest.approx(report.restore_seconds,
+                                              rel=1e-6)
+
+
+class TestResultSurface:
+    def test_job_result_json(self):
+        _, result = _traced_run()
+        payload = json.loads(result.to_json())
+        assert payload["algorithm"] == "PR"
+        assert payload["machines"] == 2
+        assert payload["network_bytes"] == result.network_bytes
+        assert set(payload["breakdown"]) == set(BREAKDOWN_CATEGORIES)
+        assert len(payload["iteration_stats"]) == result.iterations
+        assert "rank" in payload["value_keys"]
+        # Deterministic serialization.
+        assert result.to_json() == result.to_json()
+
+    def test_summary_includes_network_and_checkpoints(self):
+        graph = rmat_graph(8, seed=1)
+        result = run_algorithm(PageRank(iterations=2), graph, machines=2,
+                               chunk_bytes=4096, checkpointing=True)
+        text = result.summary()
+        assert "net=" in text
+        assert f"checkpoints={result.checkpoints}" in text
+        assert result.checkpoints > 0
+
+    def test_driver_result_json(self):
+        graph = to_undirected(rmat_graph(7, seed=3, weighted=True))
+        result = run_mcst(graph, machines=2, chunk_bytes=4096)
+        payload = json.loads(result.to_json())
+        assert payload["algorithm"] == "MCST"
+        assert payload["rounds"] == result.rounds
+        assert len(payload["jobs"]) == len(result.jobs)
+        assert payload["network_bytes"] == result.network_bytes

@@ -148,6 +148,7 @@ def run_scc(
     config: Optional[ClusterConfig] = None,
     max_rounds: int = 10_000,
     tracer=None,
+    sanitizer=None,
     **config_overrides,
 ) -> DriverResult:
     """Compute SCCs of a directed graph.
@@ -175,13 +176,13 @@ def run_scc(
         color = np.arange(num_vertices, dtype=np.int64)
         color[assigned] = -1
 
-        forward = ChaosCluster(config, tracer=tracer).run(
+        forward = ChaosCluster(config, tracer=tracer, sanitizer=sanitizer).run(
             _ForwardColor(assigned, color), edges
         )
         jobs.append(forward)
         color = forward.values["color"]
 
-        backward = ChaosCluster(config, tracer=tracer).run(
+        backward = ChaosCluster(config, tracer=tracer, sanitizer=sanitizer).run(
             _BackwardConfirm(assigned, color), reversed_edges
         )
         jobs.append(backward)

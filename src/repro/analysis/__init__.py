@@ -1,0 +1,46 @@
+"""Static analysis and dynamic sanitizers for the reproduction.
+
+Two halves, both guarding the same invariant — every run is a
+deterministic function of ``(config, seed)``:
+
+:mod:`repro.analysis.lint`
+    An AST-based lint engine with codebase-specific rules (CHX001 …
+    CHX005) that catch determinism hazards at rest: wall-clock calls in
+    simulated-clock packages, unseeded global randomness, compute code
+    reaching past the :class:`~repro.store.engine.StorageEngine`
+    mediation layer, simulator-process hygiene and nondeterministic
+    iteration.  Exposed as ``chaos-repro check``.
+
+:mod:`repro.analysis.sanitizer`
+    A TSan-style happens-before race detector for the emulated cluster:
+    vector clocks advanced by messages, barriers and steal-protocol
+    handoffs, attached to cross-machine shared state (vertex values,
+    accumulators, steal queues, chunk stores).  Exposed as
+    ``chaos-repro run --sanitize``.
+"""
+
+from repro.analysis.findings import (
+    Finding,
+    format_github,
+    format_json,
+    format_text,
+)
+from repro.analysis.lint import FileContext, LintEngine, LintResult, Rule
+from repro.analysis.rules import DEFAULT_RULES, default_rules
+from repro.analysis.sanitizer import Race, RaceAccess, Sanitizer
+
+__all__ = [
+    "DEFAULT_RULES",
+    "default_rules",
+    "FileContext",
+    "Finding",
+    "format_github",
+    "format_json",
+    "format_text",
+    "LintEngine",
+    "LintResult",
+    "Race",
+    "RaceAccess",
+    "Rule",
+    "Sanitizer",
+]

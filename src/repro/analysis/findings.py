@@ -1,0 +1,69 @@
+"""Lint findings and output formats.
+
+A :class:`Finding` is one rule violation at one source location.  The
+three formatters target the three consumers: humans (``text``), tools
+(``json``) and GitHub Actions PR annotations (``github`` — the
+``::error file=…`` workflow-command syntax, which makes findings show up
+inline on the diff).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str  # "error" or "warning"
+    message: str
+
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+def format_text(findings: Iterable[Finding]) -> str:
+    """One human-readable line per finding."""
+    return "\n".join(
+        f"{f.file}:{f.line}: {f.rule_id} [{f.severity}] {f.message}"
+        for f in findings
+    )
+
+
+def format_json(findings: Iterable[Finding], suppressed: int = 0) -> str:
+    """Machine-readable JSON document with the finding list and counts."""
+    items: List[dict] = [asdict(f) for f in findings]
+    return json.dumps(
+        {
+            "tool": "chaos-repro check",
+            "findings": items,
+            "count": len(items),
+            "suppressed": suppressed,
+        },
+        indent=2,
+    )
+
+
+def format_github(findings: Iterable[Finding]) -> str:
+    """GitHub Actions workflow commands: inline annotations on PR diffs."""
+    lines = []
+    for f in findings:
+        level = "error" if f.severity == "error" else "warning"
+        # Workflow-command property values must escape , : and newlines.
+        message = (
+            f.message.replace("%", "%25")
+            .replace("\n", "%0A")
+            .replace(":", "%3A")
+            .replace(",", "%2C")
+        )
+        lines.append(
+            f"::{level} file={f.file},line={f.line},"
+            f"title={f.rule_id}::{message}"
+        )
+    return "\n".join(lines)

@@ -16,6 +16,10 @@ Commands
 ``trace-report``
     Summarize a ``--trace`` JSON file in the terminal: per-device and
     per-NIC utilization, breakdown categories, top spans, counters.
+``check``
+    Determinism lint: run the CHX rules (:mod:`repro.analysis`) over
+    source trees; non-zero exit on findings.  ``--format github`` emits
+    workflow commands that annotate PR diffs.
 """
 
 from __future__ import annotations
@@ -123,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(0 disables time-series sampling)")
     run.add_argument("--trace-csv", metavar="PATH",
                      help="also dump the counter time series as CSV")
+    run.add_argument("--sanitize", action="store_true",
+                     help="attach the happens-before sanitizer: vector-"
+                          "clock race detection over cross-machine shared "
+                          "state (non-zero exit if races are found)")
 
     capacity = commands.add_parser(
         "capacity", help="paper-scale capacity projection (model mode)"
@@ -147,6 +155,18 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="trace file written by run --trace")
     report.add_argument("--top", type=int, default=12,
                         help="span rows to show (by total time)")
+
+    check = commands.add_parser(
+        "check", help="determinism lint (CHX rules) over source trees"
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to lint (default: src)")
+    check.add_argument("--format", choices=("text", "json", "github"),
+                       default="text", dest="fmt",
+                       help="output format (github = PR annotations)")
+    check.add_argument("--rules", metavar="IDS",
+                       help="comma-separated rule ids to run "
+                            "(default: all CHX rules)")
 
     return parser
 
@@ -217,6 +237,12 @@ def _command_run(args) -> int:
         interval = args.trace_sample_interval
         tracer = Tracer(sample_interval=interval if interval > 0 else None)
 
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis import Sanitizer
+
+        sanitizer = Sanitizer()
+
     if not args.json:
         print(f"graph: {graph}")
         print(
@@ -226,12 +252,14 @@ def _command_run(args) -> int:
         )
 
     if args.algorithm == "MCST":
-        result = run_mcst(graph, config, tracer=tracer)
+        result = run_mcst(graph, config, tracer=tracer, sanitizer=sanitizer)
     elif args.algorithm == "SCC":
-        result = run_scc(graph, config, tracer=tracer)
+        result = run_scc(graph, config, tracer=tracer, sanitizer=sanitizer)
     else:
         algorithm = _make_algorithm(args.algorithm, args, graph)
-        result = run_algorithm(algorithm, graph, config, tracer=tracer)
+        result = run_algorithm(
+            algorithm, graph, config, tracer=tracer, sanitizer=sanitizer
+        )
 
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_counters_csv
@@ -247,9 +275,15 @@ def _command_run(args) -> int:
                 print(f"counters: {len(tracer.registry.names())} series -> "
                       f"{args.trace_csv}")
 
+    sanitize_failed = False
+    if sanitizer is not None:
+        sanitize_failed = bool(sanitizer.races)
+
     if args.json:
         print(result.to_json(indent=2))
-        return 0
+        if sanitizer is not None:
+            print(sanitizer.summary(), file=sys.stderr)
+        return 1 if sanitize_failed else 0
 
     print()
     print(result.summary())
@@ -263,7 +297,10 @@ def _command_run(args) -> int:
     print("  breakdown:")
     for category, fraction in result.total_breakdown().fractions().items():
         print(f"    {category:<11s} {fraction:6.1%}")
-    return 0
+    if sanitizer is not None:
+        print()
+        print(sanitizer.summary())
+    return 1 if sanitize_failed else 0
 
 
 def _command_capacity(args) -> int:
@@ -316,6 +353,51 @@ def _command_trace_report(args) -> int:
     return 0
 
 
+def _command_check(args) -> int:
+    from repro.analysis import (
+        LintEngine,
+        default_rules,
+        format_github,
+        format_json,
+        format_text,
+    )
+
+    rules = default_rules()
+    if args.rules:
+        wanted = {rule_id.strip() for rule_id in args.rules.split(",")
+                  if rule_id.strip()}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise SystemExit(
+                f"unknown rule ids: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    engine = LintEngine(rules=rules)
+    result = engine.check_paths(args.paths)
+
+    if args.fmt == "json":
+        print(format_json(result.findings,
+                          suppressed=len(result.suppressed)))
+    elif args.fmt == "github":
+        output = format_github(result.findings)
+        if output:
+            print(output)
+    else:
+        output = format_text(result.findings)
+        if output:
+            print(output)
+        print(
+            f"{len(result.findings)} finding(s), "
+            f"{len(result.suppressed)} suppressed, "
+            f"{result.files_checked} file(s) checked",
+            file=sys.stderr,
+        )
+    return 1 if result.findings else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -324,6 +406,7 @@ def main(argv: Optional[list] = None) -> int:
         "capacity": _command_capacity,
         "utilization": _command_utilization,
         "trace-report": _command_trace_report,
+        "check": _command_check,
     }
     try:
         return handlers[args.command](args)

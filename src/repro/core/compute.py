@@ -112,6 +112,7 @@ class ComputationEngine:
         directory: Optional[CentralizedDirectory] = None,
         input_bytes_share: int = 0,
         tracer=None,
+        sanitizer=None,
     ):
         self.sim = sim
         self.network = network
@@ -123,6 +124,11 @@ class ComputationEngine:
         self.barrier = barrier
         self.directory = directory
         self.input_bytes_share = input_bytes_share
+        # Happens-before sanitizer (``repro run --sanitize``): records
+        # this engine's accesses to cross-machine shared state.
+        self._san = (
+            sanitizer if sanitizer is not None and sanitizer.enabled else None
+        )
         # Observability: every span this engine opens carries the
         # Breakdown category it is accounted under, so a trace's
         # category totals reconcile with Figure 17 to float precision.
@@ -257,6 +263,15 @@ class ComputationEngine:
 
     def _handle_steal_request(self, message) -> None:
         request_id, proposer, partition, kind = message.payload
+        if self._san is not None:
+            # The per-partition steal queue is master-local state; every
+            # mutation must happen on the master's dispatch process.
+            self._san.access(
+                ("steal", partition),
+                self.machine,
+                write=True,
+                label="steal.decide",
+            )
         state = self._master_state.get(partition)
         if state is None or state.kind is not kind or state.closed:
             accept = False
@@ -296,6 +311,13 @@ class ComputationEngine:
 
     def _handle_accum(self, message) -> None:
         partition, accum = message.payload
+        if self._san is not None:
+            self._san.access(
+                ("steal", partition),
+                self.machine,
+                write=True,
+                label="accum.recv",
+            )
         state = self._master_state.get(partition)
         if state is None or state.accum_group is None:
             raise RuntimeError(
@@ -363,11 +385,35 @@ class ComputationEngine:
 
     def _process_chunk(self, state: _StreamState, chunk: Chunk, iteration: int) -> None:
         if state.kind is ChunkKind.EDGES:
+            if self._san is not None:
+                # Scatter reads the partition's vertex values.
+                self._san.access(
+                    ("vertex", state.partition),
+                    self.machine,
+                    write=False,
+                    label="scatter.read",
+                )
             batches = self.workload.scatter_chunk(state.partition, chunk, iteration)
             for batch in batches:
                 self._buffer_updates(batch)
             self.job.note_scatter(chunk.records, batches)
         else:
+            if self._san is not None:
+                # Gather reads the vertex values and writes this
+                # worker's private accumulator.
+                self._san.access(
+                    ("vertex", state.partition),
+                    self.machine,
+                    write=False,
+                    label="gather.read",
+                )
+                if state.accum is not None:
+                    self._san.access(
+                        ("accum", state.partition, id(state.accum)),
+                        self.machine,
+                        write=True,
+                        label="gather.accum",
+                    )
             self.workload.gather_chunk(state.partition, state.accum, chunk)
         if self._trace_on:
             self.track.instant(
@@ -565,6 +611,13 @@ class ComputationEngine:
         accum = None
         if kind is ChunkKind.UPDATES:
             accum = self.workload.begin_gather(partition)
+            if self._san is not None and accum is not None:
+                self._san.access(
+                    ("accum", partition, id(accum)),
+                    self.machine,
+                    write=True,
+                    label="accum.init",
+                )
 
         # 2. Stream edge/update chunks through the request window.
         t1 = self.sim.now
@@ -613,7 +666,23 @@ class ComputationEngine:
         if merge_cpu + apply_cpu > 0:
             yield self.cores.execute(merge_cpu + apply_cpu)
         for other in state.accums:
+            if self._san is not None and other is not None:
+                # Reading a stealer's accumulator: ordered by the accum
+                # message handoff (or it is a race).
+                self._san.access(
+                    ("accum", partition, id(other)),
+                    self.machine,
+                    write=False,
+                    label="merge.read",
+                )
             self.workload.merge_accumulators(partition, accum, other)
+        if self._san is not None:
+            self._san.access(
+                ("vertex", partition),
+                self.machine,
+                write=True,
+                label="apply.write",
+            )
         changed = self.workload.apply_partition(partition, accum, iteration)
         self.job.note_apply(changed)
         self.metrics.add("merge", self.sim.now - t1)
@@ -741,7 +810,7 @@ class ComputationEngine:
     def _enter_barrier(self):
         t0 = self.sim.now
         self.track.begin("barrier", cat="barrier")
-        yield self.barrier.wait()
+        yield self.barrier.wait(party=self.machine)
         self.metrics.add("barrier", self.sim.now - t0)
         self.track.end()
 
@@ -760,7 +829,7 @@ class ComputationEngine:
             size = min(chunk_bytes, remaining)
             remaining -= size
             # Read the input slice locally ...
-            yield self.local_store.device.service(size)
+            yield self.local_store.local_input_read(size)
             # ... and write the equivalent volume of partitioned edge
             # chunks to a random storage engine (charged, not stored:
             # the data plane was pre-placed with the same RNG stream).
@@ -785,7 +854,7 @@ class ComputationEngine:
         yield from self._preprocess()
         track.end()
         track.begin("preprocess.barrier")
-        yield self.barrier.wait()
+        yield self.barrier.wait(party=self.machine)
         track.end()
         self.job.note_preprocessing_done(self.sim.now)
 

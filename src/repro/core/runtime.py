@@ -130,6 +130,7 @@ class ChaosCluster:
         config: ClusterConfig,
         backend_factory: Optional[Callable[[int], object]] = None,
         tracer=None,
+        sanitizer=None,
     ):
         self.config = config
         self.backend_factory = backend_factory or (lambda _m: MemoryChunkStore())
@@ -137,6 +138,12 @@ class ChaosCluster:
         #: instants and counter timelines of every run on this cluster;
         #: ``None`` (the default) costs nothing.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Happens-before sanitizer (:mod:`repro.analysis.sanitizer`):
+        #: vector-clock race detection over cross-machine shared state;
+        #: ``None`` (the default) costs nothing.
+        self.sanitizer = (
+            sanitizer if sanitizer is not None and sanitizer.enabled else None
+        )
         #: Introspection handles from the most recent run (protocol
         #: audits and tests): the storage engines and the network.
         self.last_stores: Optional[List[StorageEngine]] = None
@@ -308,20 +315,19 @@ class ChaosCluster:
         """
         sampler = ResourceSampler(sim, tracer, tracer.sample_interval)
         for m, store in enumerate(stores):
-            device = store.device
             sampler.add_probe(
                 f"m{m}.device.busy",
                 m,
-                lambda meter=device.meter: meter.busy_time,
+                store.device_busy_time,
                 mode="busy_fraction",
             )
             sampler.add_probe(
-                f"m{m}.device.queue_s", m, device.queue_delay, mode="value"
+                f"m{m}.device.queue_s", m, store.device_queue_delay, mode="value"
             )
             sampler.add_probe(
                 f"m{m}.device.bytes",
                 m,
-                lambda meter=device.meter: meter.bytes_served,
+                store.device_bytes_served,
                 mode="value",
             )
         for m, nic in enumerate(network.nics):
@@ -370,7 +376,15 @@ class ChaosCluster:
             sim.process_hook = lambda process, phase: job_track.instant(
                 f"process.{phase}", args={"name": process.name}
             )
-        network = Network(sim, config.machines, config.network, tracer=tracer)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.bind_run(
+                config.machines, now=lambda: sim.now, track=job_track
+            )
+        network = Network(
+            sim, config.machines, config.network, tracer=tracer,
+            sanitizer=sanitizer,
+        )
         stores = [
             StorageEngine(
                 sim,
@@ -379,6 +393,7 @@ class ChaosCluster:
                 config.device,
                 self.backend_factory(m),
                 tracer=tracer,
+                sanitizer=sanitizer,
             )
             for m in range(config.machines)
         ]
@@ -398,7 +413,10 @@ class ChaosCluster:
             )
 
         job = JobCoordinator(workload, stores, start_iteration=start_iteration)
-        barrier = Barrier(sim, parties=config.machines, name="phase-barrier")
+        barrier = Barrier(
+            sim, parties=config.machines, name="phase-barrier",
+            sanitizer=sanitizer,
+        )
         per_machine_input = -(-input_bytes // config.machines)
         engines = [
             ComputationEngine(
@@ -413,6 +431,7 @@ class ChaosCluster:
                 directory=directory,
                 input_bytes_share=per_machine_input,
                 tracer=tracer,
+                sanitizer=sanitizer,
             )
             for m in range(config.machines)
         ]
@@ -461,6 +480,7 @@ def run_algorithm(
     edges: EdgeList,
     config: Optional[ClusterConfig] = None,
     tracer=None,
+    sanitizer=None,
     **config_overrides,
 ) -> JobResult:
     """Convenience one-shot entry point.
@@ -468,10 +488,14 @@ def run_algorithm(
     >>> result = run_algorithm(PageRank(iterations=5), graph, machines=4)
 
     Pass ``tracer=repro.obs.Tracer()`` to record spans and utilization
-    timelines of the run (see :mod:`repro.obs`).
+    timelines of the run (see :mod:`repro.obs`), and
+    ``sanitizer=repro.analysis.Sanitizer()`` to race-check the run's
+    cross-machine shared-state accesses.
     """
     if config is None:
         config = ClusterConfig(**config_overrides)
     elif config_overrides:
         config = config.with_(**config_overrides)
-    return ChaosCluster(config, tracer=tracer).run(algorithm, edges)
+    return ChaosCluster(config, tracer=tracer, sanitizer=sanitizer).run(
+        algorithm, edges
+    )

@@ -37,6 +37,10 @@ class Message:
     size: int
     payload: Any = None
     send_time: float = 0.0
+    #: Vector-clock stamp attached by the happens-before sanitizer on
+    #: synchronization messages; ``None`` when sanitizing is off (or the
+    #: message is data-plane traffic that creates no ordering edge).
+    clock: Any = None
 
 
 class Network:
@@ -51,6 +55,7 @@ class Network:
         machines: int,
         config: NetworkConfig,
         tracer=None,
+        sanitizer=None,
     ):
         if machines < 1:
             raise ValueError(f"need at least one machine, got {machines}")
@@ -60,6 +65,9 @@ class Network:
         self.switch = Switch(sim, config)
         self.nics = [Nic(sim, machine, config) for machine in range(machines)]
         self._mailboxes: Dict[Tuple[int, str], Mailbox] = {}
+        self._san = (
+            sanitizer if sanitizer is not None and sanitizer.enabled else None
+        )
         self._trace_on = tracer is not None and tracer.enabled
         if self._trace_on:
             from repro.obs.tracer import TID_NIC_RX, TID_NIC_TX
@@ -119,6 +127,11 @@ class Network:
             size=size,
             payload=payload,
             send_time=self.sim.now,
+            clock=(
+                self._san.on_send(src, kind)
+                if self._san is not None
+                else None
+            ),
         )
         mailbox = self.mailbox(dst, service)
         delivered = Event(self.sim, name=f"deliver.{kind}")
@@ -152,8 +165,13 @@ class Network:
         rx_done = self.nics[dst].ingress.service(wire_size, label=label)
         rx_done.subscribe(lambda _e: self._deliver(mailbox, message, delivered))
 
-    @staticmethod
-    def _deliver(mailbox: Mailbox, message: Message, delivered: Event) -> None:
+    def _deliver(
+        self, mailbox: Mailbox, message: Message, delivered: Event
+    ) -> None:
+        if self._san is not None and message.clock is not None:
+            # Receipt of a synchronization message joins the sender's
+            # vector clock into the destination machine (happens-before).
+            self._san.on_receive(message.dst, message.clock)
         mailbox.put(message)
         delivered.trigger(message)
 

@@ -8,7 +8,7 @@ breakdown of Figure 17.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sim.engine import Event, SimulationError, Simulator
 
@@ -21,7 +21,13 @@ class Barrier:
     resets for the next generation.
     """
 
-    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+    def __init__(
+        self,
+        sim: Simulator,
+        parties: int,
+        name: str = "barrier",
+        sanitizer=None,
+    ):
         if parties < 1:
             raise ValueError(f"parties must be >= 1, got {parties}")
         self.sim = sim
@@ -30,24 +36,38 @@ class Barrier:
         self.generation = 0
         self._arrived: List[Event] = []
         self._arrival_times: List[float] = []
+        self._arrival_parties: List[Optional[int]] = []
+        self._san = (
+            sanitizer if sanitizer is not None and sanitizer.enabled else None
+        )
         # Total time spent waiting at this barrier, per party index order
         # of arrival (aggregated, for diagnostics).
         self.total_wait_time = 0.0
 
-    def wait(self) -> Event:
-        """Arrive at the barrier; the returned event fires on release."""
+    def wait(self, party: Optional[int] = None) -> Event:
+        """Arrive at the barrier; the returned event fires on release.
+
+        ``party`` optionally identifies the arriving machine so the
+        happens-before sanitizer can join every party's vector clock at
+        the release (a barrier orders everything before it on any
+        machine with everything after it on every machine).
+        """
         if len(self._arrived) >= self.parties:
             raise SimulationError(f"barrier {self.name}: too many arrivals")
         event = Event(self.sim, name=f"{self.name}.wait(gen={self.generation})")
         self._arrived.append(event)
         self._arrival_times.append(self.sim.now)
+        self._arrival_parties.append(party)
         if len(self._arrived) == self.parties:
             release_time = self.sim.now
             waiters, self._arrived = self._arrived, []
             times, self._arrival_times = self._arrival_times, []
+            parties, self._arrival_parties = self._arrival_parties, []
             for arrival in times:
                 self.total_wait_time += release_time - arrival
             self.generation += 1
+            if self._san is not None:
+                self._san.on_barrier(parties)
             for waiter in waiters:
                 waiter.trigger(self.generation)
         return event

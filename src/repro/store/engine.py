@@ -50,6 +50,7 @@ class StorageEngine:
         device: DeviceSpec,
         backend,
         tracer=None,
+        sanitizer=None,
     ):
         self.sim = sim
         self.network = network
@@ -62,6 +63,9 @@ class StorageEngine:
             name=f"m{machine}.{device.name}",
         )
         self.backend = backend
+        self._san = (
+            sanitizer if sanitizer is not None and sanitizer.enabled else None
+        )
         self._trace_on = tracer is not None and tracer.enabled
         if self._trace_on:
             from repro.obs.tracer import TID_DEVICE
@@ -92,6 +96,31 @@ class StorageEngine:
     def reset_cursors(self, kind: ChunkKind) -> None:
         """Start of a phase: all chunks of ``kind`` become unprocessed."""
         self.backend.reset_cursors(kind)
+
+    def local_input_read(self, size: int) -> Event:
+        """Charge a local read of ``size`` raw input bytes on the device.
+
+        The pre-processing pass reads each machine's share of the
+        unsorted input from its own device; compute code must come
+        through this method rather than touching the device directly
+        (the mediation the CHX003 lint rule enforces).
+        """
+        label = "pread" if self._trace_on else None
+        return self.device.service(size, label=label)
+
+    # -- telemetry accessors (samplers must not reach into the device) --
+
+    def device_busy_time(self) -> float:
+        """Cumulative busy seconds of the storage device."""
+        return self.device.meter.busy_time
+
+    def device_queue_delay(self) -> float:
+        """Current queueing delay (seconds) at the storage device."""
+        return self.device.queue_delay()
+
+    def device_bytes_served(self) -> int:
+        """Cumulative bytes served by the storage device."""
+        return self.device.meter.bytes_served
 
     # -- direct (pre-processing time) stores ------------------------------
 
@@ -134,6 +163,15 @@ class StorageEngine:
 
     def _handle_read(self, message) -> None:
         request_id, requester, reply_service, partition, kind = message.payload
+        if self._san is not None:
+            # Advancing the read-once cursor mutates shared store state;
+            # it is safe only because this engine serializes all access.
+            self._san.access(
+                ("chunks", self.machine, partition, kind),
+                self.machine,
+                write=True,
+                label="store.fetch",
+            )
         chunk = self.backend.fetch_any(partition, kind)
         if chunk is None:
             self.exhausted_replies += 1
@@ -161,6 +199,13 @@ class StorageEngine:
 
     def _handle_write(self, message) -> None:
         request_id, requester, reply_service, chunk = message.payload
+        if self._san is not None:
+            self._san.access(
+                ("chunks", self.machine, chunk.partition, chunk.kind),
+                self.machine,
+                write=True,
+                label="store.append",
+            )
         self.writes_served += 1
         label = (
             f"write:{chunk.kind.value}:p{chunk.partition}"
@@ -248,6 +293,13 @@ class StorageEngine:
 
     def _handle_delete(self, message) -> None:
         partition, kind = message.payload
+        if self._san is not None:
+            self._san.access(
+                ("chunks", self.machine, partition, kind),
+                self.machine,
+                write=True,
+                label="store.delete",
+            )
         # Deletion is a metadata operation: no device time.
         self.backend.delete(partition, kind)
 

@@ -1,0 +1,404 @@
+"""Tests for the determinism lint engine (CHX rules).
+
+Each rule gets positive fixtures (violating code that must be flagged)
+and negative fixtures (idiomatic code that must pass), plus suppression
+handling, output formats, the CLI entry point and the self-host check:
+the repository's own source tree must be clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    default_rules,
+    format_github,
+    format_json,
+    format_text,
+)
+from repro.analysis.rules import RULE_TABLE
+from repro.cli import main
+
+SIM_PATH = "src/repro/sim/fixture.py"
+COMPUTE_PATH = "src/repro/core/fixture.py"
+OUTSIDE_PATH = "src/repro/graph/fixture.py"
+
+
+def lint(source, path=SIM_PATH):
+    return LintEngine().check_source(source, path=path)
+
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# CHX001: wall clock in simulated-clock packages
+
+
+class TestWallClock:
+    def test_flags_time_time_in_sim_package(self):
+        result = lint("import time\nt0 = time.time()\n")
+        assert rule_ids(result) == ["CHX001"]
+        assert result.findings[0].line == 2
+
+    @pytest.mark.parametrize(
+        "call", ["time.sleep(1)", "time.perf_counter()", "time.monotonic()"]
+    )
+    def test_flags_other_wall_clock_calls(self, call):
+        result = lint(f"import time\n{call}\n")
+        assert rule_ids(result) == ["CHX001"]
+
+    def test_flags_datetime_now(self):
+        result = lint("import datetime\nstamp = datetime.now()\n")
+        assert rule_ids(result) == ["CHX001"]
+
+    def test_flags_from_time_import(self):
+        result = lint("from time import perf_counter\n")
+        assert rule_ids(result) == ["CHX001"]
+
+    def test_ignores_outside_sim_packages(self):
+        result = lint("import time\nt0 = time.time()\n", path=OUTSIDE_PATH)
+        assert result.clean
+
+    def test_ignores_simulated_clock_use(self):
+        result = lint("def f(sim):\n    return sim.now\n")
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# CHX002: global-state randomness
+
+
+class TestGlobalRandom:
+    def test_flags_random_module_call(self):
+        result = lint("import random\nx = random.randint(0, 9)\n")
+        assert rule_ids(result) == ["CHX002"]
+
+    def test_flags_np_random_legacy_call(self):
+        result = lint("import numpy as np\nx = np.random.rand(4)\n")
+        assert rule_ids(result) == ["CHX002"]
+
+    def test_flags_from_random_import(self):
+        result = lint("from random import shuffle\n")
+        assert rule_ids(result) == ["CHX002"]
+
+    def test_applies_everywhere_not_just_sim_packages(self):
+        result = lint("import random\nrandom.random()\n", path=OUTSIDE_PATH)
+        assert rule_ids(result) == ["CHX002"]
+
+    def test_allows_seeded_constructors(self):
+        result = lint(
+            "import random\nimport numpy as np\n"
+            "rng = random.Random(7)\ngen = np.random.default_rng(7)\n"
+        )
+        assert result.clean
+
+    def test_allows_generator_methods(self):
+        result = lint("def f(rng):\n    return rng.integers(0, 9)\n")
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# CHX003: StorageEngine mediation
+
+
+class TestStorageMediation:
+    def test_flags_device_reach_through(self):
+        result = lint(
+            "def f(store):\n    return store.device.service(100)\n",
+            path=COMPUTE_PATH,
+        )
+        assert rule_ids(result) == ["CHX003"]
+
+    def test_flags_backend_reach_through(self):
+        result = lint(
+            "def f(store):\n    return store.backend.fetch_any(0, kind)\n",
+            path=COMPUTE_PATH,
+        )
+        assert rule_ids(result) == ["CHX003"]
+
+    def test_flags_device_alias(self):
+        result = lint(
+            "def f(store):\n    dev = store.device\n    return dev\n",
+            path=COMPUTE_PATH,
+        )
+        assert rule_ids(result) == ["CHX003"]
+
+    def test_allows_device_spec_reads(self):
+        result = lint(
+            "def f(config):\n    return config.device.bandwidth\n",
+            path=COMPUTE_PATH,
+        )
+        assert result.clean
+
+    def test_allows_storage_engine_methods(self):
+        result = lint(
+            "def f(store):\n    return store.local_input_read(100)\n",
+            path=COMPUTE_PATH,
+        )
+        assert result.clean
+
+    def test_ignores_outside_compute_packages(self):
+        result = lint(
+            "def f(store):\n    return store.device.service(100)\n",
+            path=OUTSIDE_PATH,
+        )
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# CHX004: simulator-process hygiene
+
+
+class TestProcessHygiene:
+    def test_flags_discarded_wait(self):
+        result = lint("def f(barrier):\n    barrier.wait()\n")
+        assert rule_ids(result) == ["CHX004"]
+
+    def test_flags_unscheduled_generator_call(self):
+        source = (
+            "def worker(sim):\n"
+            "    yield sim.timeout(1)\n"
+            "\n"
+            "def start(sim):\n"
+            "    worker(sim)\n"
+        )
+        result = lint(source)
+        assert rule_ids(result) == ["CHX004"]
+        assert result.findings[0].line == 5
+
+    def test_allows_yielded_wait(self):
+        result = lint("def f(barrier):\n    yield barrier.wait()\n")
+        assert result.clean
+
+    def test_allows_scheduled_generator(self):
+        source = (
+            "def worker(sim):\n"
+            "    yield sim.timeout(1)\n"
+            "\n"
+            "def start(sim):\n"
+            "    sim.process(worker(sim))\n"
+        )
+        result = lint(source)
+        assert result.clean
+
+    def test_plain_function_call_statement_is_fine(self):
+        source = (
+            "def note(x):\n"
+            "    return x\n"
+            "\n"
+            "def start():\n"
+            "    note(1)\n"
+        )
+        result = lint(source)
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# CHX005: nondeterministic ordering hazards
+
+
+class TestNondetOrder:
+    def test_flags_mutable_default(self):
+        result = lint("def f(items=[]):\n    return items\n")
+        assert rule_ids(result) == ["CHX005"]
+
+    def test_flags_dict_call_default(self):
+        result = lint("def f(table=dict()):\n    return table\n")
+        assert rule_ids(result) == ["CHX005"]
+
+    def test_flags_direct_set_iteration(self):
+        result = lint(
+            "def f():\n    for x in {3, 1, 2}:\n        print(x)\n"
+        )
+        assert rule_ids(result) == ["CHX005"]
+
+    def test_flags_set_call_comprehension(self):
+        result = lint("def f(xs):\n    return [x for x in set(xs)]\n")
+        assert rule_ids(result) == ["CHX005"]
+
+    def test_flags_set_assigned_then_iterated(self):
+        source = (
+            "def f(xs):\n"
+            "    pending = set(xs)\n"
+            "    for x in pending:\n"
+            "        print(x)\n"
+        )
+        result = lint(source)
+        assert rule_ids(result) == ["CHX005"]
+
+    def test_allows_sorted_set_iteration(self):
+        source = (
+            "def f(xs):\n"
+            "    pending = set(xs)\n"
+            "    for x in sorted(pending):\n"
+            "        print(x)\n"
+        )
+        result = lint(source)
+        assert result.clean
+
+    def test_allows_none_default(self):
+        result = lint("def f(items=None):\n    return items or []\n")
+        assert result.clean
+
+    def test_ignores_outside_sim_packages(self):
+        result = lint("def f(items=[]):\n    return items\n",
+                      path=OUTSIDE_PATH)
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics: suppression, syntax errors, path walking
+
+
+class TestSuppression:
+    def test_matching_id_suppresses(self):
+        result = lint(
+            "import time\n"
+            "t0 = time.time()  # chaos: ignore[CHX001] profiling shim\n"
+        )
+        assert result.clean
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule_id == "CHX001"
+
+    def test_wrong_id_does_not_suppress(self):
+        result = lint(
+            "import time\nt0 = time.time()  # chaos: ignore[CHX002]\n"
+        )
+        assert rule_ids(result) == ["CHX001"]
+        assert not result.suppressed
+
+    def test_multiple_ids(self):
+        result = lint(
+            "import time\nimport random\n"
+            "x = random.random() + time.time()"
+            "  # chaos: ignore[CHX001, CHX002]\n"
+        )
+        assert result.clean
+        assert len(result.suppressed) == 2
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_chx000(self):
+        result = lint("def broken(:\n")
+        assert rule_ids(result) == ["CHX000"]
+
+    def test_rule_filtering(self):
+        rules = [r for r in default_rules() if r.rule_id == "CHX002"]
+        engine = LintEngine(rules=rules)
+        result = engine.check_source(
+            "import time\nimport random\n"
+            "time.time()\nrandom.random()\n",
+            path=SIM_PATH,
+        )
+        assert rule_ids(result) == ["CHX002"]
+
+    def test_check_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "sim"
+        package.mkdir()
+        (package / "bad.py").write_text("import time\ntime.time()\n")
+        (package / "good.py").write_text("x = 1\n")
+        result = LintEngine().check_paths([str(tmp_path)])
+        assert result.files_checked == 2
+        assert rule_ids(result) == ["CHX001"]
+
+    def test_rule_table_covers_all_rules(self):
+        assert sorted(RULE_TABLE) == [
+            "CHX001", "CHX002", "CHX003", "CHX004", "CHX005",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Output formats
+
+
+class TestFormats:
+    FINDINGS = [
+        Finding(file="src/repro/sim/x.py", line=3, rule_id="CHX001",
+                severity="error", message="wall-clock call, bad: really"),
+    ]
+
+    def test_text_format(self):
+        text = format_text(self.FINDINGS)
+        assert text == (
+            "src/repro/sim/x.py:3: CHX001 [error] "
+            "wall-clock call, bad: really"
+        )
+
+    def test_json_format_round_trips(self):
+        document = json.loads(format_json(self.FINDINGS, suppressed=2))
+        assert document["count"] == 1
+        assert document["suppressed"] == 2
+        assert document["findings"][0]["rule_id"] == "CHX001"
+        assert document["findings"][0]["line"] == 3
+
+    def test_github_format_escapes_properties(self):
+        line = format_github(self.FINDINGS)
+        assert line.startswith(
+            "::error file=src/repro/sim/x.py,line=3,title=CHX001::"
+        )
+        assert "wall-clock call%2C bad%3A really" in line
+
+    def test_empty_findings_format_empty(self):
+        assert format_text([]) == ""
+        assert format_github([]) == ""
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point
+
+
+class TestCheckCommand:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_exit_nonzero_on_findings(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        assert main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CHX001" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        assert main(["check", str(tmp_path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 1
+
+    def test_github_format(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        assert main(["check", str(tmp_path), "--format", "github"]) == 1
+        assert capsys.readouterr().out.startswith("::error file=")
+
+    def test_rules_filter(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        assert main(["check", str(tmp_path), "--rules", "CHX002"]) == 0
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["check", str(tmp_path), "--rules", "CHX999"])
+
+
+# ---------------------------------------------------------------------------
+# Self-host: the repository's own source must be clean (tier 1)
+
+
+class TestSelfHost:
+    def test_repro_source_tree_has_no_unsuppressed_findings(self):
+        source_root = Path(repro.__file__).parent
+        result = LintEngine().check_paths([str(source_root)])
+        assert result.findings == [], format_text(result.findings)
+        assert result.files_checked > 50

@@ -28,7 +28,7 @@ from repro.analysis.findings import Finding
 
 #: Packages whose code runs under the simulated clock: wall-clock reads
 #: there silently corrupt timing results instead of failing tests.
-SIM_PACKAGES = frozenset({"core", "sim", "store", "net", "obs"})
+SIM_PACKAGES = frozenset({"core", "sim", "store", "net", "obs", "faults"})
 
 #: Packages holding compute/algorithm code, which must reach storage
 #: only through the StorageEngine protocol (never Device/backend).

@@ -1,4 +1,4 @@
-"""Codebase-specific determinism rules (CHX001 … CHX005).
+"""Codebase-specific determinism rules (CHX001 … CHX006).
 
 Each rule targets one way a change can silently break the invariant
 that a run is a deterministic function of ``(config, seed)``:
@@ -13,6 +13,9 @@ CHX004   simulator-process hygiene: unscheduled generator processes,
          discarded ``wait()`` events
 CHX005   iteration over sets feeding the simulated schedule; mutable
          default arguments in engine code
+CHX006   broad exception handlers (bare ``except:`` /
+         ``except Exception:``) in engine packages that can swallow
+         the simulator's process-kill ``Interrupt``
 =======  ==========================================================
 """
 
@@ -397,6 +400,67 @@ class NondetOrderRule(Rule):
                 )
 
 
+class BroadExceptRule(Rule):
+    """CHX006: broad exception handlers that can swallow ``Interrupt``.
+
+    The simulator kills a process by throwing
+    :class:`repro.sim.engine.Interrupt` (an ``Exception`` subclass) into
+    it.  A bare ``except:`` or ``except Exception:`` in engine code
+    catches that kill, so a fenced process keeps running as a zombie —
+    exactly the bug the fault injector's machine crashes would expose
+    nondeterministically.  A handler is fine if it re-raises (bare
+    ``raise``) so the kill still propagates.
+    """
+
+    rule_id = "CHX006"
+    severity = "error"
+    title = "broad except can swallow simulator Interrupt"
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_packages(SIM_PACKAGES)
+
+    @classmethod
+    def _broad_names(cls, node: ast.AST) -> List[str]:
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for expr in exprs:
+            chain = _attr_chain(expr)
+            if chain and chain[-1] in cls._BROAD:
+                names.append(chain[-1])
+        return names
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True if the handler body contains a bare ``raise``."""
+        for child in ast.walk(handler):
+            if isinstance(child, ast.Raise) and child.exc is None:
+                return True
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Tuple[int, str]]:
+        if self._reraises(node):
+            return
+        if node.type is None:
+            yield (
+                node.lineno,
+                "bare 'except:' in an engine package catches the "
+                "simulator's process-kill Interrupt; catch specific "
+                "exceptions or re-raise with a bare 'raise'",
+            )
+            return
+        for name in self._broad_names(node.type):
+            yield (
+                node.lineno,
+                f"'except {name}:' in an engine package swallows the "
+                f"simulator's process-kill Interrupt (an Exception "
+                f"subclass); catch specific exceptions or re-raise "
+                f"with a bare 'raise'",
+            )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every CHX rule (rules hold per-file state)."""
     return [
@@ -405,6 +469,7 @@ def default_rules() -> List[Rule]:
         StorageMediationRule(),
         ProcessHygieneRule(),
         NondetOrderRule(),
+        BroadExceptRule(),
     ]
 
 
@@ -415,6 +480,7 @@ DEFAULT_RULES = (
     StorageMediationRule,
     ProcessHygieneRule,
     NondetOrderRule,
+    BroadExceptRule,
 )
 
 #: Mapping rule id -> one-line description (the README rule table).

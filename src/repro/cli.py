@@ -131,6 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="attach the happens-before sanitizer: vector-"
                           "clock race detection over cross-machine shared "
                           "state (non-zero exit if races are found)")
+    run.add_argument("--inject-fault", action="append", metavar="SPEC",
+                     dest="inject_fault",
+                     help="inject a machine fault into the simulation; "
+                          "SPEC is kind:machine@trigger[,key=value...] "
+                          "e.g. crash:1@iter=3  crash-restart:0@t=0.02,"
+                          "down=0.01  partition:2@iter=2,for=0.05  "
+                          "slow-device:1@t=0.01,factor=8,for=0.02 "
+                          "(repeatable)")
+    run.add_argument("--verify-recovery", action="store_true",
+                     help="with --inject-fault: also run an undisturbed "
+                          "twin and exit non-zero unless the final vertex "
+                          "values are byte-identical")
 
     capacity = commands.add_parser(
         "capacity", help="paper-scale capacity projection (model mode)"
@@ -251,14 +263,48 @@ def _command_run(args) -> int:
             f"window {config.effective_request_window()}"
         )
 
+    fault_plan = None
+    if args.inject_fault:
+        if args.algorithm in ("MCST", "SCC"):
+            raise SystemExit(
+                f"--inject-fault does not support {args.algorithm}: it is "
+                f"a multi-run driver, not a single GAS job"
+            )
+        if args.sanitize:
+            raise SystemExit(
+                "--inject-fault and --sanitize are mutually exclusive"
+            )
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.inject_fault)
+            fault_plan.validate(config)
+        except ValueError as error:
+            raise SystemExit(f"bad --inject-fault: {error}")
+
+    timeline = None
     if args.algorithm == "MCST":
         result = run_mcst(graph, config, tracer=tracer, sanitizer=sanitizer)
     elif args.algorithm == "SCC":
         result = run_scc(graph, config, tracer=tracer, sanitizer=sanitizer)
     else:
         algorithm = _make_algorithm(args.algorithm, args, graph)
-        result = run_algorithm(
-            algorithm, graph, config, tracer=tracer, sanitizer=sanitizer
+        from repro.core.runtime import ChaosCluster
+
+        cluster = ChaosCluster(config, tracer=tracer, sanitizer=sanitizer)
+        result = cluster.run(algorithm, graph, fault_plan=fault_plan)
+        timeline = cluster.last_fault_timeline
+
+    recovery_mismatch = False
+    if args.verify_recovery:
+        if fault_plan is None:
+            raise SystemExit("--verify-recovery requires --inject-fault")
+        twin = run_algorithm(
+            _make_algorithm(args.algorithm, args, graph), graph, config
+        )
+        recovery_mismatch = set(result.values) != set(twin.values) or any(
+            not np.array_equal(result.values[name], twin.values[name])
+            for name in result.values
         )
 
     if tracer is not None:
@@ -278,12 +324,18 @@ def _command_run(args) -> int:
     sanitize_failed = False
     if sanitizer is not None:
         sanitize_failed = bool(sanitizer.races)
+    failed = sanitize_failed or recovery_mismatch
 
     if args.json:
         print(result.to_json(indent=2))
         if sanitizer is not None:
             print(sanitizer.summary(), file=sys.stderr)
-        return 1 if sanitize_failed else 0
+        if timeline is not None:
+            print(timeline.summary(), file=sys.stderr)
+        if args.verify_recovery:
+            verdict = "MISMATCH" if recovery_mismatch else "identical"
+            print(f"recovery verification: {verdict}", file=sys.stderr)
+        return 1 if failed else 0
 
     print()
     print(result.summary())
@@ -297,10 +349,22 @@ def _command_run(args) -> int:
     print("  breakdown:")
     for category, fraction in result.total_breakdown().fractions().items():
         print(f"    {category:<11s} {fraction:6.1%}")
+    if timeline is not None:
+        print()
+        print("fault timeline:")
+        for line in timeline.summary().splitlines():
+            print(f"  {line}")
+    if args.verify_recovery:
+        verdict = (
+            "MISMATCH vs undisturbed run"
+            if recovery_mismatch
+            else "final values identical to undisturbed run"
+        )
+        print(f"  recovery verification: {verdict}")
     if sanitizer is not None:
         print()
         print(sanitizer.summary())
-    return 1 if sanitize_failed else 0
+    return 1 if failed else 0
 
 
 def _command_capacity(args) -> int:

@@ -23,6 +23,19 @@ global barriers.  Within a phase an engine:
 The engine is written against the :class:`repro.core.workload.Workload`
 interface, so the identical scheduling logic drives both functional
 (real data) and capacity-model (phantom) runs.
+
+Fault tolerance (Section 6.6, driven by :mod:`repro.faults`): under
+fault injection the engine runs inside a recovery *epoch*.  Every
+message it sends is stamped with the epoch, request-id streams are
+epoch-scoped (so a stale reply can never match a live request), a
+``fenced`` flag stops callback-driven work after the engine is killed
+(interrupting a process does not cancel its already-subscribed CPU
+completions), and blocked RPCs — chunk reads and steal proposals — are
+re-armed on a timeout and abandoned only once the failure detector has
+fenced their target, so a slow-but-alive peer can never cause a false
+data loss.  Checkpoints additionally carry per-partition state
+snapshots and report durability to a cluster-wide
+:class:`repro.faults.registry.CheckpointRegistry`.
 """
 
 from __future__ import annotations
@@ -113,6 +126,10 @@ class ComputationEngine:
         input_bytes_share: int = 0,
         tracer=None,
         sanitizer=None,
+        epoch: int = 0,
+        preprocess: bool = True,
+        registry=None,
+        liveness=None,
     ):
         self.sim = sim
         self.network = network
@@ -124,6 +141,18 @@ class ComputationEngine:
         self.barrier = barrier
         self.directory = directory
         self.input_bytes_share = input_bytes_share
+        #: Recovery epoch this engine belongs to (0 in fault-free runs);
+        #: stamps every outgoing message and scopes the request ids.
+        self.epoch = epoch
+        #: Whether to run the pre-processing pass (skipped on epochs
+        #: after a rollback: the edge chunks are already placed).
+        self.preprocess = preprocess
+        #: Cluster checkpoint registry (fault injection only): tracks
+        #: which checkpoint generation is durable and owns slot rotation.
+        self._registry = registry
+        #: Failure detector view (``is_suspected(machine)``); when set,
+        #: blocked reads and steal proposals time out against it.
+        self._liveness = liveness
         # Happens-before sanitizer (``repro run --sanitize``): records
         # this engine's accesses to cross-machine shared state.
         self._san = (
@@ -160,7 +189,19 @@ class ComputationEngine:
 
         self._mailbox = network.register(machine, COMPUTE_SERVICE)
         self._pending: Dict[int, Callable] = {}
-        self._next_request = machine  # distinct id streams per machine
+        # Distinct id streams per machine AND per epoch: a reply from a
+        # rolled-back epoch can never collide with a live request.
+        self._next_request = machine + epoch * config.machines * (1 << 40)
+        #: Request ids deliberately abandoned (dead target); replies to
+        #: them are dropped instead of tripping the unknown-reply check.
+        self._abandoned: set = set()
+        #: Set once the fault supervisor kills this engine: stops all
+        #: callback-driven work (CPU completions already subscribed
+        #: before the kill still fire and must become no-ops).
+        self.fenced = False
+        self.stale_messages = 0
+        self.steal_timeouts = 0
+        self.reads_abandoned = 0
         self._master_state: Dict[int, PartitionPhaseState] = {}
         self._write_group = WaitGroup(sim, name=f"m{machine}.writes")
         # Scatter output buffers, keyed by destination partition.
@@ -171,11 +212,24 @@ class ComputationEngine:
         self.updates_written_bytes = 0
         self.finished: Optional[Event] = None
 
-        sim.process(self._dispatch(), name=f"compute{machine}.dispatch")
+        self.dispatch_process = sim.process(
+            self._dispatch(), name=f"compute{machine}.dispatch.e{epoch}"
+            if epoch else f"compute{machine}.dispatch"
+        )
 
     # ------------------------------------------------------------------
     # Message plumbing
     # ------------------------------------------------------------------
+
+    def fence(self) -> None:
+        """Stop all future work on this engine (fault injection).
+
+        Killing the engine's processes is not enough: CPU-completion
+        and write-ack callbacks subscribed before the kill still fire.
+        The flag turns them into no-ops so a zombie engine cannot flush
+        stale updates into the rolled-back epoch.
+        """
+        self.fenced = True
 
     def _new_request_id(self) -> int:
         self._next_request += self.config.machines
@@ -184,11 +238,20 @@ class ComputationEngine:
     def _dispatch(self):
         while True:
             message = yield self._mailbox.get()
+            if message.epoch != self.epoch:
+                # Traffic from another recovery epoch (a straggling
+                # reply, or a steal request from a zombie peer).
+                self.stale_messages += 1
+                continue
             kind = message.kind
             if kind in ("read_reply", "vread_reply", "write_ack", "directory_reply"):
                 request_id = message.payload[0]
                 callback = self._pending.pop(request_id, None)
                 if callback is None:
+                    if request_id in self._abandoned:
+                        self._abandoned.discard(request_id)
+                        self.stale_messages += 1
+                        continue
                     raise RuntimeError(
                         f"engine {self.machine}: unexpected reply "
                         f"{kind} id={request_id}"
@@ -224,7 +287,7 @@ class ComputationEngine:
 
     def _send_read(
         self, partition: int, kind: ChunkKind, target: int, callback
-    ) -> None:
+    ) -> int:
         request_id = self._new_request_id()
         self._pending[request_id] = callback
         self.network.send(
@@ -234,7 +297,9 @@ class ComputationEngine:
             kind="read",
             size=store_engine.CONTROL_BYTES,
             payload=(request_id, self.machine, COMPUTE_SERVICE, partition, kind),
+            epoch=self.epoch,
         )
+        return request_id
 
     def _write_chunk(self, chunk: Chunk, target: int) -> None:
         """Asynchronously write a chunk; tracked by the phase write group."""
@@ -255,6 +320,7 @@ class ComputationEngine:
             kind=message_kind,
             size=chunk.size,
             payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
+            epoch=self.epoch,
         )
 
     # ------------------------------------------------------------------
@@ -307,6 +373,7 @@ class ComputationEngine:
             kind="steal_reply",
             size=STEAL_MESSAGE_BYTES,
             payload=(request_id, accept, partition),
+            epoch=self.epoch,
         )
 
     def _handle_accum(self, message) -> None:
@@ -357,14 +424,48 @@ class ComputationEngine:
         def on_located(_location: int) -> None:
             # The directory round trip (if any) is the cost; the engine
             # still respects its exhaustion bookkeeping for correctness.
-            self._send_read(
+            request_id = self._send_read(
                 state.partition,
                 state.kind,
                 target,
                 lambda message: self._on_chunk_reply(state, message, iteration),
             )
+            if self._liveness is not None:
+                self._watch_read(request_id, state, target, iteration)
 
         self._with_location(on_located)
+
+    def _watch_read(
+        self, request_id: int, state: _StreamState, target: int, iteration: int
+    ) -> None:
+        """Fault-tolerant read RPC: re-arm a timeout until the reply
+        lands or the failure detector fences the target.
+
+        A read to a live-but-slow machine is *never* abandoned (the
+        storage engine consumed the chunk cursor, so abandoning it would
+        silently lose the chunk); a read to a fenced machine is
+        abandoned and the target marked exhausted — the cluster-wide
+        rollback that follows re-streams everything anyway.
+        """
+        period = self.config.effective_read_timeout()
+
+        def check() -> None:
+            if self.fenced or request_id not in self._pending:
+                return
+            if (
+                self._liveness.is_suspected(target)
+                or not self.network.is_reachable(target)
+            ):
+                del self._pending[request_id]
+                self._abandoned.add(request_id)
+                self.reads_abandoned += 1
+                state.in_flight -= 1
+                state.exhausted.add(target)
+                self._pump(state, iteration)
+            else:
+                self.sim.schedule(period, check)
+
+        self.sim.schedule(period, check)
 
     def _on_chunk_reply(self, state: _StreamState, message, iteration: int) -> None:
         state.in_flight -= 1
@@ -384,6 +485,10 @@ class ComputationEngine:
         self._pump(state, iteration)
 
     def _process_chunk(self, state: _StreamState, chunk: Chunk, iteration: int) -> None:
+        if self.fenced:
+            # Zombie callback: the CPU completion was subscribed before
+            # this engine was killed by the fault supervisor.
+            return
         if state.kind is ChunkKind.EDGES:
             if self._san is not None:
                 # Scatter reads the partition's vertex values.
@@ -447,6 +552,8 @@ class ComputationEngine:
             self._flush_buffer(batch.partition)
 
     def _flush_buffer(self, partition: int) -> None:
+        if self.fenced:
+            return
         batches = self._buffers.pop(partition, [])
         nbytes = self._buffer_bytes.pop(partition, 0)
         if not batches:
@@ -537,11 +644,25 @@ class ComputationEngine:
                 kind="vread",
                 size=store_engine.CONTROL_BYTES,
                 payload=(request_id, self.machine, COMPUTE_SERVICE, partition, index),
+                epoch=self.epoch,
             )
         return done
 
-    def _store_vertex_set(self, partition: int, checkpoint: bool = False) -> Event:
-        """Write all vertex chunks back; event fires when all are acked."""
+    def _store_vertex_set(
+        self,
+        partition: int,
+        checkpoint: bool = False,
+        base: Optional[int] = None,
+        first_chunk_payload=None,
+    ) -> Event:
+        """Write all vertex chunks back; event fires when all are acked.
+
+        Checkpoint writes land at a distinct index ``base`` (the slot
+        rotation of the two-phase protocol); ``first_chunk_payload``
+        rides on the chunk at ``base + 0`` of every replica — the fault
+        runtime stores the partition's state snapshot there so recovery
+        can read real bytes back through the storage model.
+        """
         sizes = self._vertex_chunk_sizes(partition)
         done = Event(self.sim, name=f"vstore.p{partition}")
         if not sizes:
@@ -554,7 +675,8 @@ class ComputationEngine:
             if outstanding["count"] == 0:
                 done.trigger()
 
-        base = 1_000_000 if checkpoint else 0
+        if base is None:
+            base = 1_000_000 if checkpoint else 0
         replicas = self.config.vertex_replicas
         outstanding["count"] *= replicas
         for index, size in enumerate(sizes):
@@ -566,7 +688,11 @@ class ComputationEngine:
                     partition=partition,
                     kind=ChunkKind.VERTICES,
                     size=size,
-                    payload=None,
+                    payload=(
+                        first_chunk_payload
+                        if (checkpoint and index == 0)
+                        else None
+                    ),
                     index=base + index,
                 )
                 request_id = self._new_request_id()
@@ -578,6 +704,7 @@ class ComputationEngine:
                     kind="vwrite",
                     size=size,
                     payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
+                    epoch=self.epoch,
                 )
         return done
 
@@ -704,6 +831,7 @@ class ComputationEngine:
                 kind="delete",
                 size=store_engine.CONTROL_BYTES,
                 payload=(partition, ChunkKind.UPDATES),
+                epoch=self.epoch,
             )
 
     def _ship_accumulator(self, partition: int, accum):
@@ -719,6 +847,7 @@ class ComputationEngine:
             kind="accum",
             size=size,
             payload=(partition, accum),
+            epoch=self.epoch,
         )
         yield delivered
         self.metrics.add("copy", self.sim.now - t0)
@@ -752,8 +881,32 @@ class ComputationEngine:
                 kind="steal_request",
                 size=STEAL_MESSAGE_BYTES,
                 payload=(request_id, self.machine, partition, kind),
+                epoch=self.epoch,
             )
-            message = yield reply
+            if self._liveness is None:
+                message = yield reply
+            else:
+                # Fault-tolerant steal RPC: re-arm a timeout until the
+                # reply lands or the proposed master is fenced; a dead
+                # master counts as a rejection (the rollback will give
+                # its partitions a fresh master anyway).
+                message = None
+                period = self.config.effective_steal_timeout()
+                while message is None:
+                    winner, value = yield self.sim.any_of(
+                        [reply, self.sim.timeout(period)]
+                    )
+                    if winner is reply:
+                        message = value
+                    elif (
+                        self._liveness.is_suspected(master)
+                        or not self.network.is_reachable(master)
+                    ):
+                        self._pending.pop(request_id, None)
+                        self.steal_timeouts += 1
+                        break
+                if message is None:
+                    continue
             _rid, accepted, _partition = message.payload
             if accepted:
                 yield from self._work_on_partition(partition, kind, master=False)
@@ -787,20 +940,60 @@ class ComputationEngine:
         self.metrics.add("gp_master", self.sim.now - t0)
         self.track.end()
         if self.config.checkpointing:
-            yield from self._checkpoint()
+            yield from self._checkpoint(kind)
 
-    def _checkpoint(self):
+    def _checkpoint(self, kind: ChunkKind):
         """Two-phase vertex-set checkpoint (Section 6.6).
 
         Phase one writes the new copies; phase two (retiring the old
         generation) is a metadata operation once all writes are durable.
+
+        Under fault injection (a :class:`CheckpointRegistry` is
+        attached) each checkpoint round gets a shared slot from the
+        registry — never the slot holding the current durable
+        generation, so a crash mid-checkpoint cannot corrupt the restore
+        point — and each partition's writes carry a state snapshot plus
+        the iteration to resume from (a scatter-phase checkpoint resumes
+        its own iteration; a gather-phase one, having applied, resumes
+        the next).  Durability is reported per partition once *all*
+        replica writes are acked.
         """
         t0 = self.sim.now
         self.track.begin("checkpoint", cat="copy")
-        events = [
-            self._store_vertex_set(partition, checkpoint=True)
-            for partition in self.my_partitions
-        ]
+        registry = self._registry
+        events = []
+        if registry is None:
+            events = [
+                self._store_vertex_set(partition, checkpoint=True)
+                for partition in self.my_partitions
+            ]
+        else:
+            phase_index = 0 if kind is ChunkKind.EDGES else 1
+            resume = (
+                self.job.iteration
+                if kind is ChunkKind.EDGES
+                else self.job.iteration + 1
+            )
+            key = (self.epoch, self.job.iteration, phase_index)
+            slot = registry.round_slot(key, resume)
+            base = registry.base_for_slot(slot)
+            for partition in self.my_partitions:
+                payload = {
+                    "snapshot": self.workload.snapshot_partition(partition),
+                    "resume_iteration": resume,
+                }
+                event = self._store_vertex_set(
+                    partition,
+                    checkpoint=True,
+                    base=base,
+                    first_chunk_payload=payload,
+                )
+                event.subscribe(
+                    lambda _e, p=partition: registry.note_durable(
+                        key, p, self.sim.now
+                    )
+                )
+                events.append(event)
         for event in events:
             yield event
         self.checkpoints_written += len(events)
@@ -844,19 +1037,21 @@ class ComputationEngine:
                 kind="pwrite",
                 size=size,
                 payload=(request_id, self.machine, COMPUTE_SERVICE, size),
+                epoch=self.epoch,
             )
             yield ack
 
     def main(self):
         """The engine's top-level process (Figure 4 main loop)."""
         track = self.track
-        track.begin("preprocess")
-        yield from self._preprocess()
-        track.end()
-        track.begin("preprocess.barrier")
-        yield self.barrier.wait(party=self.machine)
-        track.end()
-        self.job.note_preprocessing_done(self.sim.now)
+        if self.preprocess:
+            track.begin("preprocess")
+            yield from self._preprocess()
+            track.end()
+            track.begin("preprocess.barrier")
+            yield self.barrier.wait(party=self.machine)
+            track.end()
+            self.job.note_preprocessing_done(self.sim.now)
 
         while True:
             # -- scatter phase ------------------------------------------

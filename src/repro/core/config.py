@@ -60,6 +60,22 @@ class ClusterConfig:
     #: tolerating storage failures "could easily be added by replicating
     #: the vertex sets" (Section 6.6); this implements it.
     vertex_replicas: int = 1
+    #: Heartbeat period of the per-machine failure-detector sender.
+    heartbeat_interval: float = 1e-3
+    #: Lease duration: a machine whose heartbeat is this stale is
+    #: suspected dead and fenced.  ``None`` derives 5 heartbeats.
+    lease_timeout: Optional[float] = None
+    #: Steal-proposal RPC timeout under fault injection (``None``
+    #: derives from the lease; unused in fault-free runs).
+    steal_timeout: Optional[float] = None
+    #: Chunk-read RPC re-check period under fault injection: how often
+    #: a blocked reader consults the failure detector about its target
+    #: (``None`` derives from the lease; unused in fault-free runs).
+    read_timeout: Optional[float] = None
+    #: Reboot delay applied to crash faults with no explicit restart
+    #: time (crash faults are transient machine failures, Section 6.6 —
+    #: secondary storage survives the reboot).
+    restart_seconds: float = 10e-3
 
     # -- optional Pregel-style combining (Section 11.1) -----------------------
     #: Pre-aggregate buffered updates sharing a destination before
@@ -102,6 +118,16 @@ class ClusterConfig:
             raise ValueError("vertex_replicas must be >= 1")
         if self.vertex_replicas > self.machines:
             raise ValueError("cannot replicate beyond the machine count")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.lease_timeout is not None and self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if self.steal_timeout is not None and self.steal_timeout <= 0:
+            raise ValueError("steal_timeout must be positive")
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ValueError("read_timeout must be positive")
+        if self.restart_seconds <= 0:
+            raise ValueError("restart_seconds must be positive")
 
     # -- derived quantities ------------------------------------------------
 
@@ -120,6 +146,34 @@ class ClusterConfig:
             network_rtt=self.network.round_trip(),
             storage_latency=max(self.device.latency, 1e-9),
         )
+
+    def effective_lease_timeout(self) -> float:
+        """Failure-detector lease: explicit, or 5 heartbeat periods.
+
+        Five missed heartbeats comfortably absorb queueing jitter at
+        the monitor's NIC while still bounding detection latency.
+        """
+        if self.lease_timeout is not None:
+            return self.lease_timeout
+        return 5.0 * self.heartbeat_interval
+
+    def effective_steal_timeout(self) -> float:
+        """Steal-RPC re-check period: explicit, or one lease."""
+        if self.steal_timeout is not None:
+            return self.steal_timeout
+        return self.effective_lease_timeout()
+
+    def effective_read_timeout(self) -> float:
+        """Chunk-read re-check period: explicit, or one lease.
+
+        A blocked read is only ever *abandoned* once the failure
+        detector has fenced its target, so this period trades wake-up
+        overhead against abandonment latency — it can never cause a
+        false data loss.
+        """
+        if self.read_timeout is not None:
+            return self.read_timeout
+        return self.effective_lease_timeout()
 
     def with_(self, **changes) -> "ClusterConfig":
         """A modified copy (dataclasses.replace convenience)."""

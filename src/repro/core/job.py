@@ -38,6 +38,9 @@ class JobCoordinator:
         self.steals_rejected = 0
         self.preprocessing_end: float = 0.0
         self.done = False
+        #: Optional observer called once per iteration at scatter start
+        #: (the fault injector's ``iter=`` trigger hook).
+        self.on_iteration = None
         self._decisions: Dict[int, bool] = {}
         self._scatter_started_for: int = -1
 
@@ -63,6 +66,8 @@ class JobCoordinator:
         for engine in self.storage_engines:
             engine.reset_cursors(ChunkKind.EDGES)
         self.workload.begin_iteration(self.iteration)
+        if self.on_iteration is not None:
+            self.on_iteration(self.iteration)
 
     def note_scatter(self, edge_records: int, batches) -> None:
         stats = self.current_stats

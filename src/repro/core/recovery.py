@@ -47,6 +47,18 @@ class RecoveryReport:
     #: The undisturbed runtime, for overhead comparison.
     baseline_runtime: float
     result: JobResult
+    #: Decomposed timeline (filled by the in-simulation fault path;
+    #: the analytic path derives useful/lost from the phase times).
+    useful_seconds: float = 0.0
+    lost_seconds: float = 0.0
+    #: Faults that fired (``FaultRecord`` tuples when fault-injected).
+    faults: tuple = ()
+    #: ``True``/``False`` once compared against an undisturbed twin run,
+    #: ``None`` when no comparison was made.
+    values_match_baseline: object = None
+    #: The :class:`repro.faults.supervisor.FaultTimeline` when the run
+    #: came from the in-simulation fault injector.
+    timeline: object = None
 
     @property
     def total_runtime(self) -> float:
@@ -67,9 +79,14 @@ class RecoveryReport:
         )
 
 
-class _BoundedIterations(GasAlgorithm):
+class _BoundedIterations:
     """Wrapper that stops a quiescence-based algorithm after N iterations
-    (used to capture the checkpoint state at the failure point)."""
+    (used to capture the checkpoint state at the failure point).
+
+    Duck-typed rather than a :class:`GasAlgorithm` subclass: everything
+    except ``finished`` — including any algorithm-specific extension
+    hooks the engine probes for — forwards to the wrapped instance.
+    """
 
     def __init__(self, inner: GasAlgorithm, iterations: int):
         self._inner = inner
@@ -82,26 +99,10 @@ class _BoundedIterations(GasAlgorithm):
         self.accum_bytes = inner.accum_bytes
         self.max_iterations = iterations
 
-    def init_values(self, ctx):
-        return self._inner.init_values(ctx)
-
-    def scatter(self, values, src_local, dst, weight, iteration):
-        return self._inner.scatter(values, src_local, dst, weight, iteration)
-
-    def make_accumulator(self, n):
-        return self._inner.make_accumulator(n)
-
-    def gather(self, accum, dst_local, values, state=None):
-        return self._inner.gather(accum, dst_local, values, state)
-
-    def merge(self, accum, other):
-        return self._inner.merge(accum, other)
-
-    def combine_updates(self, dst, values):
-        return self._inner.combine_updates(dst, values)
-
-    def apply(self, values, accum, iteration):
-        return self._inner.apply(values, accum, iteration)
+    def __getattr__(self, name):
+        # Only reached for attributes not set on the wrapper itself
+        # (the bound/overridden ones above and ``finished`` below).
+        return getattr(self._inner, name)
 
     def finished(self, iteration, stats):
         # Stop at the bound OR when the inner algorithm converges.
@@ -163,10 +164,22 @@ def run_with_failure(
     lost_work = 0.5 * per_iteration
 
     # Restore cost: every partition's vertex set is read back from the
-    # surviving storage engines at aggregate bandwidth.
+    # surviving storage engines *through the network*.  The devices and
+    # the NICs stream concurrently, so the transfer is bounded by the
+    # slower of the two stages, plus one request round trip.  Replicas
+    # are hash-placed, so a fraction (m-1)/m of each machine's restore
+    # bytes arrives over its NIC rather than from its local device.
     total_vertex_bytes = edges.num_vertices * algorithm_factory().vertex_bytes
-    aggregate_bandwidth = config.device.bandwidth * max(1, config.machines - 1)
-    restore_seconds = total_vertex_bytes / aggregate_bandwidth
+    survivors = max(1, config.machines - 1)
+    device_seconds = total_vertex_bytes / (config.device.bandwidth * survivors)
+    per_machine_bytes = total_vertex_bytes / config.machines
+    remote_fraction = (config.machines - 1) / config.machines
+    ingress_seconds = (
+        per_machine_bytes * remote_fraction / config.network.bandwidth
+    )
+    restore_seconds = (
+        max(device_seconds, ingress_seconds) + config.network.round_trip()
+    )
 
     if trace_on:
         # Lay the lost half-iteration and the restore I/O on the shared
@@ -195,6 +208,11 @@ def run_with_failure(
         start_iteration=failed_iteration,
     )
 
+    matches = set(after.values) == set(baseline.values) and all(
+        np.array_equal(after.values[name], baseline.values[name])
+        for name in after.values
+    )
+
     return RecoveryReport(
         algorithm=algorithm_factory().name,
         machines=config.machines,
@@ -204,4 +222,7 @@ def run_with_failure(
         time_after_restore=after.runtime,
         baseline_runtime=baseline.runtime,
         result=after,
+        useful_seconds=before.runtime + after.runtime,
+        lost_seconds=lost_work,
+        values_match_baseline=matches,
     )

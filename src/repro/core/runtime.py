@@ -25,13 +25,13 @@ from repro.core.compute import ComputationEngine
 from repro.core.config import ClusterConfig
 from repro.core.gas import GasAlgorithm, GraphContext
 from repro.core.job import JobCoordinator
-from repro.core.metrics import JobResult
+from repro.core.metrics import Breakdown, JobResult
 from repro.core.workload import DataWorkload, ModelWorkload, Workload
 from repro.graph.edgelist import EdgeList, bytes_per_edge
 from repro.graph.stats import out_degrees as compute_out_degrees
 from repro.net.transport import Network
 from repro.obs.counters import ResourceSampler
-from repro.obs.tracer import NULL_TRACER, TID_JOB
+from repro.obs.tracer import NULL_TRACER, NULL_TRACK, TID_JOB
 from repro.partition.streaming import (
     PartitionLayout,
     choose_partition_count,
@@ -148,6 +148,9 @@ class ChaosCluster:
         #: audits and tests): the storage engines and the network.
         self.last_stores: Optional[List[StorageEngine]] = None
         self.last_network: Optional[Network] = None
+        #: :class:`repro.faults.FaultTimeline` of the most recent
+        #: fault-injected run (``None`` for fault-free runs).
+        self.last_fault_timeline = None
 
     # ------------------------------------------------------------------
     # Functional (data) mode
@@ -159,6 +162,7 @@ class ChaosCluster:
         edges: EdgeList,
         initial_values=None,
         start_iteration: int = 0,
+        fault_plan=None,
     ) -> JobResult:
         """Execute ``algorithm`` on ``edges`` and return the result.
 
@@ -170,6 +174,13 @@ class ChaosCluster:
         vertex state (a checkpoint): the paper's recovery model, in
         which all computation state lives in the vertex values
         (Section 6.6).
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+        machine faults into the run: crashes, partitions, and slow
+        devices fire inside the simulation, the failure detector
+        notices, and the cluster rolls back to the latest durable
+        checkpoint and re-executes.  The final values are byte-identical
+        to the fault-free run's for the same config and seed.
         """
         config = self.config
         if algorithm.needs_weights and not edges.weighted:
@@ -198,6 +209,7 @@ class ChaosCluster:
                 parts, layout, edge_bytes, placement_rng, stores
             ),
             start_iteration=start_iteration,
+            fault_plan=fault_plan,
         )
 
     # ------------------------------------------------------------------
@@ -362,7 +374,18 @@ class ChaosCluster:
         input_bytes: int,
         edge_chunk_loader,
         start_iteration: int = 0,
+        fault_plan=None,
     ) -> JobResult:
+        if fault_plan is not None and fault_plan:
+            return self._execute_with_faults(
+                workload,
+                layout,
+                input_bytes,
+                edge_chunk_loader,
+                start_iteration,
+                fault_plan,
+            )
+        self.last_fault_timeline = None
         config = self.config
         sim = Simulator()
         tracer = self.tracer
@@ -474,6 +497,208 @@ class ChaosCluster:
             updates_written_bytes=sum(e.updates_written_bytes for e in engines),
         )
 
+    def _execute_with_faults(
+        self,
+        workload: Workload,
+        layout: PartitionLayout,
+        input_bytes: int,
+        edge_chunk_loader,
+        start_iteration: int,
+        fault_plan,
+    ) -> JobResult:
+        """Fault-injected execution: epochs, detection, live recovery.
+
+        The supervisor owns the epoch loop (run → detect → fence →
+        re-admit → restore → resume); this method wires the cluster the
+        same way as :meth:`_execute`, plus a monitor network endpoint
+        for the failure detector, a checkpoint registry, and a
+        per-epoch engine factory.
+        """
+        # Imported lazily: repro.faults depends on repro.core.
+        from repro.faults.detector import FailureDetector
+        from repro.faults.injector import FaultInjector
+        from repro.faults.registry import CheckpointRegistry
+        from repro.faults.supervisor import ClusterSupervisor
+
+        config = self.config
+        if config.placement == "centralized":
+            raise ValueError(
+                "fault injection does not support the centralized placement "
+                "baseline (directory replies carry no recovery epoch)"
+            )
+        if self.sanitizer is not None:
+            raise ValueError(
+                "fault injection and the happens-before sanitizer are "
+                "mutually exclusive (vector clocks do not model epochs)"
+            )
+        if not hasattr(workload, "snapshot_partition"):
+            raise ValueError(
+                "fault injection requires a data-mode workload (model-mode "
+                "phantom runs have no vertex state to checkpoint)"
+            )
+        fault_plan.validate(config)
+
+        sim = Simulator()
+        tracer = self.tracer
+        job_track = None
+        if tracer.enabled:
+            tracer.bind_run(lambda: sim.now)
+            for m in range(config.machines):
+                tracer.set_process(m, f"machine{m}")
+            tracer.set_process(config.machines, "cluster")
+            job_track = tracer.thread(config.machines, TID_JOB, "job")
+            sim.process_hook = lambda process, phase: job_track.instant(
+                f"process.{phase}", args={"name": process.name}
+            )
+        # One extra endpoint: the failure-detector monitor.
+        network = Network(
+            sim, config.machines, config.network, tracer=tracer,
+            extra_endpoints=1,
+        )
+        stores = [
+            StorageEngine(
+                sim, network, m, config.device, self.backend_factory(m),
+                tracer=tracer,
+            )
+            for m in range(config.machines)
+        ]
+        placement_rng = random.Random(config.seed * 1_000_003 + 99991)
+        edge_chunk_loader(placement_rng, stores)
+        self._place_vertex_chunks(workload, layout, stores)
+
+        registry = CheckpointRegistry(layout.num_partitions)
+        detector = FailureDetector(
+            sim,
+            network,
+            config.machines,
+            monitor=config.machines,
+            lease=config.effective_lease_timeout(),
+        )
+        per_machine_input = -(-input_bytes // config.machines)
+        # The current epoch's engines, for telemetry probes that must
+        # survive epoch turnover (the list object is reused in place).
+        live_engines: List[ComputationEngine] = []
+
+        def build_epoch(epoch, resume_iteration, preprocess):
+            job = JobCoordinator(
+                workload, stores, start_iteration=resume_iteration
+            )
+            barrier = Barrier(
+                sim, parties=config.machines, name=f"phase-barrier.e{epoch}"
+            )
+            engines = [
+                ComputationEngine(
+                    sim,
+                    network,
+                    m,
+                    config,
+                    workload,
+                    job,
+                    local_store=stores[m],
+                    barrier=barrier,
+                    input_bytes_share=per_machine_input,
+                    tracer=tracer,
+                    epoch=epoch,
+                    preprocess=preprocess,
+                    registry=registry,
+                    liveness=detector,
+                )
+                for m in range(config.machines)
+            ]
+            live_engines[:] = engines
+            processes = [
+                sim.process(engine.main(), name=f"engine{m}.e{epoch}")
+                for m, engine in enumerate(engines)
+            ]
+            return job, barrier, engines, processes
+
+        supervisor = ClusterSupervisor(
+            sim,
+            config,
+            network,
+            stores,
+            workload,
+            registry,
+            detector,
+            build_epoch,
+            job_track=job_track if job_track is not None else NULL_TRACK,
+        )
+        injector = FaultInjector(sim, supervisor, fault_plan, config)
+        injector.start()
+
+        sampler = None
+        if tracer.enabled and tracer.sample_interval is not None:
+            sampler = self._make_sampler(sim, tracer, stores, network, [])
+            for m in range(config.machines):
+                sampler.add_probe(
+                    f"m{m}.cores.busy",
+                    m,
+                    lambda m=m: (
+                        live_engines[m].cores.busy_cores()
+                        if m < len(live_engines)
+                        else 0
+                    ),
+                    mode="value",
+                )
+            sampler.start()
+
+        supervisor.execute(start_iteration)
+        if sampler is not None:
+            sampler.sample()
+        if job_track is not None:
+            job_track.instant(
+                "job.done", args={"algorithm": workload.algorithm.name}
+            )
+        self.last_stores = stores
+        self.last_network = network
+        self.last_fault_timeline = supervisor.timeline
+
+        # Assemble the result across epochs: wall-time categories and
+        # I/O counters sum over every epoch's engines (re-executed work
+        # really happened); the logical iteration trajectory comes from
+        # the final epoch.
+        jobs = supervisor.epoch_jobs
+        final_job = jobs[-1]
+        breakdowns = []
+        for m in range(config.machines):
+            merged = Breakdown()
+            for engines in supervisor.epoch_engines:
+                merged = merged.merged_with(engines[m].metrics)
+            breakdowns.append(merged)
+        all_stats = [
+            stats for job in jobs for stats in job.iteration_stats
+        ]
+        storage_bytes = sum(s.bytes_served() for s in stores)
+        return JobResult(
+            algorithm=workload.algorithm.name,
+            machines=config.machines,
+            runtime=sim.now,
+            preprocessing_seconds=jobs[0].preprocessing_end,
+            iterations=final_job.iteration_stats[-1].iteration + 1,
+            iteration_stats=all_stats,
+            breakdowns=breakdowns,
+            storage_bytes=storage_bytes,
+            network_bytes=network.total_bytes(),
+            steals_accepted=sum(j.steals_accepted for j in jobs),
+            steals_rejected=sum(j.steals_rejected for j in jobs),
+            values=workload.final_values(),
+            checkpoints=sum(
+                e.checkpoints_written
+                for engines in supervisor.epoch_engines
+                for e in engines
+            ),
+            updates_written_records=sum(
+                e.updates_written_records
+                for engines in supervisor.epoch_engines
+                for e in engines
+            ),
+            updates_written_bytes=sum(
+                e.updates_written_bytes
+                for engines in supervisor.epoch_engines
+                for e in engines
+            ),
+        )
+
 
 def run_algorithm(
     algorithm: GasAlgorithm,
@@ -481,6 +706,7 @@ def run_algorithm(
     config: Optional[ClusterConfig] = None,
     tracer=None,
     sanitizer=None,
+    fault_plan=None,
     **config_overrides,
 ) -> JobResult:
     """Convenience one-shot entry point.
@@ -488,14 +714,16 @@ def run_algorithm(
     >>> result = run_algorithm(PageRank(iterations=5), graph, machines=4)
 
     Pass ``tracer=repro.obs.Tracer()`` to record spans and utilization
-    timelines of the run (see :mod:`repro.obs`), and
+    timelines of the run (see :mod:`repro.obs`),
     ``sanitizer=repro.analysis.Sanitizer()`` to race-check the run's
-    cross-machine shared-state accesses.
+    cross-machine shared-state accesses, and
+    ``fault_plan=repro.faults.FaultPlan.parse([...])`` to inject machine
+    faults and exercise live recovery.
     """
     if config is None:
         config = ClusterConfig(**config_overrides)
     elif config_overrides:
         config = config.with_(**config_overrides)
     return ChaosCluster(config, tracer=tracer, sanitizer=sanitizer).run(
-        algorithm, edges
+        algorithm, edges, fault_plan=fault_plan
     )

@@ -38,6 +38,70 @@ class UpdateBatch:
     payload: Optional[Dict[str, np.ndarray]]  # {"dst": ..., "value": ...}
 
 
+class GatherBuffer:
+    """Deferred gather input for one partition, one worker.
+
+    The simulated schedule delivers update chunks in an order that
+    depends on device queues, stealing and (under fault injection) on
+    recovery timing.  Floating-point reduction is not associative, so
+    applying updates in arrival order would make the *bits* of the final
+    vertex values schedule-dependent — fatal for the recovery invariant
+    that a fault-injected run equals an undisturbed run byte for byte.
+
+    Workers therefore buffer the raw ``(dst_local, value)`` pairs while
+    streaming and the master replays the union once, in the canonical
+    order of :func:`canonical_update_order`, at apply time.  The replay
+    is a pure host-side reordering: the simulated timing (per-chunk CPU
+    charges, accumulator ship sizes, merge costs) is untouched.
+    """
+
+    __slots__ = ("_dst", "_values")
+
+    def __init__(self):
+        self._dst: List[np.ndarray] = []
+        self._values: List[np.ndarray] = []
+
+    def append(self, dst_local: np.ndarray, values: np.ndarray) -> None:
+        if len(dst_local) == 0:
+            return
+        self._dst.append(dst_local)
+        self._values.append(values)
+
+    def extend(self, other: "GatherBuffer") -> None:
+        self._dst.extend(other._dst)
+        self._values.extend(other._values)
+
+    def merged(self) -> Optional[Dict[str, np.ndarray]]:
+        """All buffered updates concatenated, or ``None`` if empty."""
+        if not self._dst:
+            return None
+        return {
+            "dst": np.concatenate(self._dst),
+            "value": np.concatenate(self._values),
+        }
+
+
+def canonical_update_order(
+    dst_local: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """A schedule-independent total order over gather updates.
+
+    Sorts by destination vertex, breaking ties by the raw bytes of the
+    update value — a total order over the update *multiset*, so any two
+    runs that produce the same updates (in any arrival order) replay
+    them identically.  The byte comparison is arbitrary but total (it
+    distinguishes NaN payloads and -0.0/0.0, which compare equal
+    numerically) and works for structured update dtypes too.
+    """
+    if len(values) == 0:
+        return np.arange(0)
+    raw = np.ascontiguousarray(values).view(np.uint8)
+    raw = raw.reshape(len(values), -1)
+    keys = [raw[:, i] for i in range(raw.shape[1] - 1, -1, -1)]
+    keys.append(np.asarray(dst_local))
+    return np.lexsort(keys)
+
+
 class Workload:
     """Interface between the computation engine and the data plane."""
 
@@ -173,31 +237,73 @@ class DataWorkload(Workload):
         return batches
 
     # -- gather / apply ------------------------------------------------------
+    #
+    # The accumulator handle workers pass around is a GatherBuffer of
+    # raw updates, not the algorithm's numeric accumulator: the numeric
+    # reduction happens exactly once per partition per iteration, at
+    # apply time, in canonical update order (see GatherBuffer).  The
+    # simulated costs are unchanged — chunk CPU is charged on receipt,
+    # the shipped "accumulator" keeps its accum_bytes wire size, and
+    # merge/apply CPU is charged by the master as before.
 
     def begin_gather(self, partition: int):
-        return self.algorithm.make_accumulator(self.layout.vertex_count(partition))
+        return GatherBuffer()
 
     def gather_chunk(self, partition: int, accum, chunk: Chunk) -> None:
         payload = chunk.payload
         if payload is None:
             raise ValueError("DataWorkload requires chunk payloads")
         dst_local = self.layout.to_local(partition, payload["dst"])
-        self.algorithm.gather(
-            accum, dst_local, payload["value"], self._partition_state(partition)
-        )
+        accum.append(dst_local, payload["value"])
 
     def merge_accumulators(self, partition: int, master_accum, other) -> None:
-        self.algorithm.merge(master_accum, other)
+        master_accum.extend(other)
 
     def apply_partition(self, partition: int, accum, iteration: int) -> int:
         state = self._partition_state(partition)
-        return int(self.algorithm.apply(state, accum, iteration))
+        numeric = self.algorithm.make_accumulator(
+            self.layout.vertex_count(partition)
+        )
+        merged = accum.merged() if accum is not None else None
+        if merged is not None:
+            order = canonical_update_order(merged["dst"], merged["value"])
+            self.algorithm.gather(
+                numeric, merged["dst"][order], merged["value"][order], state
+            )
+        return int(self.algorithm.apply(state, numeric, iteration))
 
     def finished(self, iteration: int, stats) -> bool:
         return self.algorithm.finished(iteration, stats)
 
     def final_values(self) -> Optional[State]:
         return self.values
+
+    # -- checkpoint snapshots (fault tolerance) --------------------------
+
+    def snapshot_partition(self, partition: int) -> State:
+        """Deep copy of one partition's vertex state (checkpoint payload)."""
+        return {
+            name: np.copy(array)
+            for name, array in self._partition_state(partition).items()
+        }
+
+    def restore_partition(self, partition: int, snapshot: State) -> None:
+        """Overwrite one partition's vertex state from a checkpoint."""
+        state = self._partition_state(partition)
+        for name, array in state.items():
+            if name not in snapshot:
+                raise ValueError(f"checkpoint missing state array {name!r}")
+            array[:] = snapshot[name]
+
+    def reset_to_initial(self) -> None:
+        """Roll all vertex state back to the algorithm's initial values.
+
+        Used when a failure strikes before the first checkpoint becomes
+        durable: recovery restarts the computation from scratch.
+        """
+        fresh = self.algorithm.init_values(self.ctx)
+        for name, array in self.values.items():
+            array[:] = fresh[name]
 
 
 class ModelWorkload(Workload):

@@ -1,0 +1,61 @@
+"""In-simulation fault injection and live recovery (Section 6.6).
+
+This package makes machine failures *happen inside the simulation* —
+real crashed processes, dropped messages, expired leases, and a restore
+path that reads replicated checkpoint bytes back through the modelled
+network and storage devices — rather than being analytically costed.
+
+The keystone invariant: for a fixed ``(config, seed)``, a fault-injected
+run's final vertex values are byte-identical to the undisturbed run's
+(requires ``aggregate_updates=False``, the default — the canonical
+gather ordering makes the numeric reduction schedule-independent).
+
+Entry points:
+
+- :func:`repro.faults.plan.parse_fault_spec` / :class:`FaultPlan` — the
+  ``--inject-fault`` grammar.
+- ``run_algorithm(..., fault_plan=...)`` /
+  ``ChaosCluster.run(..., fault_plan=...)`` — execution; the cluster's
+  ``last_fault_timeline`` attribute holds the :class:`FaultTimeline`.
+"""
+
+from repro.faults.detector import (
+    HEARTBEAT_BYTES,
+    MEMBERSHIP_SERVICE,
+    FailureDetector,
+    HeartbeatSender,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.faults.registry import CheckpointGeneration, CheckpointRegistry
+from repro.faults.supervisor import (
+    RESTORE_SERVICE,
+    ClusterSupervisor,
+    FaultRecord,
+    FaultTimeline,
+    RecoveryRound,
+)
+
+__all__ = [
+    "HEARTBEAT_BYTES",
+    "MEMBERSHIP_SERVICE",
+    "RESTORE_SERVICE",
+    "CheckpointGeneration",
+    "CheckpointRegistry",
+    "ClusterSupervisor",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "FaultTimeline",
+    "HeartbeatSender",
+    "RecoveryRound",
+    "parse_fault_spec",
+]

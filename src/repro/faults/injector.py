@@ -1,0 +1,65 @@
+"""The fault injector: fires a :class:`FaultPlan` into a live run.
+
+One simulation process per fault spec waits for its trigger — a
+simulated-time timeout or the supervisor's first-start-of-iteration
+event — then applies the fault through the supervisor's fault actions
+and schedules the matching repair (reboot, heal, device restore).
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.supervisor import ClusterSupervisor
+from repro.sim.engine import Simulator
+
+
+class FaultInjector:
+    """Schedules and fires every fault of a plan, exactly once each."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        supervisor: ClusterSupervisor,
+        plan: FaultPlan,
+        config,
+    ):
+        self.sim = sim
+        self.supervisor = supervisor
+        self.plan = plan
+        self.config = config
+
+    def start(self) -> None:
+        for spec in self.plan.specs:
+            self.sim.process(
+                self._fire(spec), name=f"fault.{spec.describe()}"
+            )
+
+    def _fire(self, spec):
+        if spec.at_time is not None:
+            yield self.sim.timeout(spec.at_time)
+        else:
+            yield self.supervisor.iteration_reached(spec.at_iteration)
+        supervisor = self.supervisor
+        supervisor.note_fault(spec, self.sim.now)
+        machine = spec.machine
+        if spec.kind is FaultKind.CRASH or spec.kind is FaultKind.CRASH_RESTART:
+            down = spec.effective_down(self.config)
+            supervisor.crash_machine(machine, operator_reboot=down is None)
+            if down is not None:
+                self.sim.schedule(down, supervisor.revive_machine, machine)
+        elif spec.kind is FaultKind.PARTITION:
+            supervisor.partition_machine(machine)
+            self.sim.schedule(
+                spec.effective_duration(self.config),
+                supervisor.heal_machine,
+                machine,
+            )
+        elif spec.kind is FaultKind.SLOW_DEVICE:
+            supervisor.degrade_device(machine, spec.factor)
+            self.sim.schedule(
+                spec.effective_duration(self.config),
+                supervisor.restore_device,
+                machine,
+            )
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise ValueError(f"unhandled fault kind {spec.kind!r}")

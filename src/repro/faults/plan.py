@@ -1,0 +1,225 @@
+"""Fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a declarative schedule of machine faults to
+inject into a simulated run (Section 6.6 evaluation methodology).  Each
+:class:`FaultSpec` names a fault kind, a victim machine, and a trigger —
+either an absolute simulated time (``t=``) or the start of a logical
+iteration (``iter=``) — plus kind-specific knobs.
+
+The CLI grammar (``--inject-fault SPEC``, repeatable)::
+
+    kind:machine@trigger[,key=value ...]
+
+    crash:1@t=0.05              # fail-stop; operator reboot during recovery
+    crash:1@t=0.05,down=0.02    # fail-stop; self-reboots after 20 ms
+    crash-restart:2@iter=3      # fail-stop + self-reboot (restart_seconds)
+    partition:0@t=0.1,for=0.02  # network partition for 20 ms
+    slow-device:1@iter=2,factor=8,for=0.05   # device 8x slower for 50 ms
+
+``crash`` and ``crash-restart`` share mechanics (fail-stop, in-memory
+state lost, secondary storage survives — the paper's transient-failure
+assumption); they differ in who reboots the machine.  A plain ``crash``
+stays down until the cluster's recovery procedure reboots it
+(``config.restart_seconds`` after recovery begins), while
+``crash-restart`` reboots on its own ``down`` seconds after the crash —
+possibly before the failure detector has even noticed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class FaultKind(Enum):
+    """The injectable fault classes."""
+
+    CRASH = "crash"
+    CRASH_RESTART = "crash-restart"
+    PARTITION = "partition"
+    SLOW_DEVICE = "slow-device"
+
+
+#: Default partition duration, in lease units: long enough that the
+#: failure detector is guaranteed to notice before the link heals.
+DEFAULT_PARTITION_LEASES = 3.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    kind: FaultKind
+    machine: int
+    #: Absolute simulated trigger time (exclusive with ``at_iteration``).
+    at_time: Optional[float] = None
+    #: Trigger at the first scatter of this logical iteration.
+    at_iteration: Optional[int] = None
+    #: Downtime before a self-reboot (crash / crash-restart).
+    down: Optional[float] = None
+    #: Fault duration (partition / slow-device).
+    duration: Optional[float] = None
+    #: Device slowdown factor (slow-device only).
+    factor: Optional[float] = None
+
+    def validate(self, config) -> None:
+        """Check the spec against a concrete cluster configuration."""
+        if (self.at_time is None) == (self.at_iteration is None):
+            raise ValueError(
+                f"fault {self.describe()}: exactly one of t=/iter= required"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError(f"fault {self.describe()}: t= must be >= 0")
+        if self.at_iteration is not None and self.at_iteration < 0:
+            raise ValueError(f"fault {self.describe()}: iter= must be >= 0")
+        if not 0 <= self.machine < config.machines:
+            raise ValueError(
+                f"fault {self.describe()}: machine {self.machine} outside "
+                f"cluster of {config.machines}"
+            )
+        if self.down is not None:
+            if self.kind not in (FaultKind.CRASH, FaultKind.CRASH_RESTART):
+                raise ValueError(
+                    f"fault {self.describe()}: down= only applies to crashes"
+                )
+            if self.down <= 0:
+                raise ValueError(f"fault {self.describe()}: down= must be > 0")
+        if self.kind is FaultKind.PARTITION:
+            if config.machines < 2:
+                raise ValueError(
+                    "a partition fault needs at least two machines"
+                )
+            lease = config.effective_lease_timeout()
+            duration = self.effective_duration(config)
+            if duration < 2 * lease:
+                raise ValueError(
+                    f"fault {self.describe()}: partition duration "
+                    f"{duration:g}s is shorter than two leases "
+                    f"({2 * lease:g}s); the failure detector could not "
+                    f"reliably observe it"
+                )
+        if self.kind is FaultKind.SLOW_DEVICE:
+            if self.factor is None or self.factor <= 1:
+                raise ValueError(
+                    f"fault {self.describe()}: slow-device needs factor= > 1"
+                )
+            if self.duration is None or self.duration <= 0:
+                raise ValueError(
+                    f"fault {self.describe()}: slow-device needs for= > 0"
+                )
+        elif self.factor is not None:
+            raise ValueError(
+                f"fault {self.describe()}: factor= only applies to slow-device"
+            )
+        if self.duration is not None and self.kind in (
+            FaultKind.CRASH,
+            FaultKind.CRASH_RESTART,
+        ):
+            raise ValueError(
+                f"fault {self.describe()}: use down= (not for=) with crashes"
+            )
+
+    def effective_duration(self, config) -> float:
+        """Partition / slow-device duration with the config default."""
+        if self.duration is not None:
+            return self.duration
+        return DEFAULT_PARTITION_LEASES * config.effective_lease_timeout()
+
+    def effective_down(self, config) -> Optional[float]:
+        """Self-reboot delay: ``None`` means operator-rebooted (crash)."""
+        if self.down is not None:
+            return self.down
+        if self.kind is FaultKind.CRASH_RESTART:
+            return config.restart_seconds
+        return None
+
+    def describe(self) -> str:
+        trigger = (
+            f"t={self.at_time:g}"
+            if self.at_time is not None
+            else f"iter={self.at_iteration}"
+        )
+        return f"{self.kind.value}:{self.machine}@{trigger}"
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one ``kind:machine@trigger[,key=value...]`` spec string."""
+    head, _, tail = text.partition("@")
+    if not tail:
+        raise ValueError(f"fault spec {text!r}: missing @trigger")
+    kind_text, _, machine_text = head.partition(":")
+    try:
+        kind = FaultKind(kind_text.strip())
+    except ValueError:
+        known = ", ".join(k.value for k in FaultKind)
+        raise ValueError(
+            f"fault spec {text!r}: unknown kind {kind_text!r} "
+            f"(expected one of {known})"
+        ) from None
+    try:
+        machine = int(machine_text)
+    except ValueError:
+        raise ValueError(
+            f"fault spec {text!r}: bad machine id {machine_text!r}"
+        ) from None
+
+    fields = {}
+    parts = tail.split(",")
+    trigger = parts[0].strip()
+    key, _, value = trigger.partition("=")
+    if key == "t":
+        fields["at_time"] = _parse_float(text, key, value)
+    elif key == "iter":
+        try:
+            fields["at_iteration"] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"fault spec {text!r}: bad iter= value {value!r}"
+            ) from None
+    else:
+        raise ValueError(
+            f"fault spec {text!r}: trigger must be t=<seconds> or iter=<n>"
+        )
+    for part in parts[1:]:
+        key, _, value = part.strip().partition("=")
+        if key == "down":
+            fields["down"] = _parse_float(text, key, value)
+        elif key == "for":
+            fields["duration"] = _parse_float(text, key, value)
+        elif key == "factor":
+            fields["factor"] = _parse_float(text, key, value)
+        else:
+            raise ValueError(
+                f"fault spec {text!r}: unknown option {key!r} "
+                f"(expected down=, for=, or factor=)"
+            )
+    return FaultSpec(kind=kind, machine=machine, **fields)
+
+
+def _parse_float(text: str, key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"fault spec {text!r}: bad {key}= value {value!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults for one run."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, spec_texts) -> "FaultPlan":
+        """Build a plan from CLI ``--inject-fault`` spec strings."""
+        return cls(specs=tuple(parse_fault_spec(t) for t in spec_texts))
+
+    def validate(self, config) -> None:
+        for spec in self.specs:
+            spec.validate(config)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

@@ -1,0 +1,91 @@
+"""Cluster-wide checkpoint generation tracking (Section 6.6).
+
+Chaos checkpoints are two-phase: every machine writes its partitions'
+vertex sets to a *new* generation, and only once all partitions of the
+round are durable does the cluster retire the previous generation.  The
+:class:`CheckpointRegistry` is the (zero-cost metadata) bookkeeping of
+that protocol: it assigns each checkpoint round a storage *slot* — never
+the slot holding the currently durable generation, so a crash halfway
+through a round can always fall back to the previous complete one — and
+records when a round becomes durable cluster-wide.
+
+Slots map to vertex-chunk index bases far above the working vertex-set
+indices, so checkpoint chunks coexist with the live vertex chunks in the
+same chunk stores and are read back through the same storage protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Vertex-chunk index bases of the two checkpoint slots (double buffer).
+SLOT_BASES = (1_000_000, 2_000_000)
+
+
+@dataclass
+class CheckpointGeneration:
+    """One durable checkpoint round."""
+
+    #: (epoch, iteration, phase) of the round that wrote it.
+    key: Tuple[int, int, int]
+    #: Iteration to resume from when restoring this generation.
+    resume_iteration: int
+    #: Which double-buffer slot holds it.
+    slot: int
+    #: Simulated time the last partition's writes became durable.
+    durable_at: float
+
+
+class CheckpointRegistry:
+    """Tracks checkpoint rounds and the latest durable generation."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self._durable: Optional[CheckpointGeneration] = None
+        # key -> [slot, resume_iteration, partitions_done]
+        self._rounds: Dict[Tuple[int, int, int], list] = {}
+        #: Rounds that completed (telemetry).
+        self.rounds_completed = 0
+
+    def round_slot(self, key: Tuple[int, int, int], resume_iteration: int) -> int:
+        """The slot for round ``key`` (first caller opens the round).
+
+        Every machine of a round calls this with the same key; the round
+        is assigned the slot *not* holding the durable generation, so an
+        in-progress round can never clobber the restore point.
+        """
+        entry = self._rounds.get(key)
+        if entry is None:
+            durable_slot = self._durable.slot if self._durable is not None else 1
+            entry = [1 - durable_slot, resume_iteration, 0]
+            self._rounds[key] = entry
+        return entry[0]
+
+    def base_for_slot(self, slot: int) -> int:
+        return SLOT_BASES[slot]
+
+    def note_durable(self, key: Tuple[int, int, int], partition: int, now: float) -> None:
+        """One partition's replica writes for round ``key`` are all acked.
+
+        When every partition has reported, the round becomes the durable
+        generation (retiring the previous one — its slot will be reused
+        by the next round).
+        """
+        entry = self._rounds.get(key)
+        if entry is None:
+            raise KeyError(f"checkpoint round {key} was never opened")
+        entry[2] += 1
+        if entry[2] == self.num_partitions:
+            self._durable = CheckpointGeneration(
+                key=key,
+                resume_iteration=entry[1],
+                slot=entry[0],
+                durable_at=now,
+            )
+            self.rounds_completed += 1
+
+    def latest_durable(self) -> Optional[CheckpointGeneration]:
+        return self._durable

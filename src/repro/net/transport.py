@@ -41,6 +41,10 @@ class Message:
     #: synchronization messages; ``None`` when sanitizing is off (or the
     #: message is data-plane traffic that creates no ordering edge).
     clock: Any = None
+    #: Recovery epoch the sender belongs to.  Receivers fence stale
+    #: traffic (a write straggling in from before a rollback) by
+    #: comparing this against their own epoch; 0 for fault-free runs.
+    epoch: int = 0
 
 
 class Network:
@@ -56,15 +60,33 @@ class Network:
         config: NetworkConfig,
         tracer=None,
         sanitizer=None,
+        extra_endpoints: int = 0,
     ):
+        """``extra_endpoints`` adds management endpoints beyond the
+        compute machines (the fault-injection runtime attaches its
+        failure-detector monitor this way); they get NICs and mailboxes
+        but are never placement targets — ``self.machines`` stays the
+        compute machine count."""
         if machines < 1:
             raise ValueError(f"need at least one machine, got {machines}")
+        if extra_endpoints < 0:
+            raise ValueError("extra_endpoints must be >= 0")
         self.sim = sim
         self.machines = machines
         self.config = config
         self.switch = Switch(sim, config)
-        self.nics = [Nic(sim, machine, config) for machine in range(machines)]
+        self.nics = [
+            Nic(sim, machine, config)
+            for machine in range(machines + extra_endpoints)
+        ]
         self._mailboxes: Dict[Tuple[int, str], Mailbox] = {}
+        # Reachability per endpoint: False while an endpoint is crashed
+        # or partitioned away.  Remote messages touching an unreachable
+        # endpoint are dropped (fail-stop links: no queuing, no retry at
+        # the transport layer — recovery is end-to-end, Section 6.6).
+        self._reachable = [True] * (machines + extra_endpoints)
+        #: Remote messages dropped because either end was unreachable.
+        self.messages_dropped = 0
         self._san = (
             sanitizer if sanitizer is not None and sanitizer.enabled else None
         )
@@ -100,6 +122,27 @@ class Network:
                 f"no service {service!r} registered on machine {machine}"
             ) from None
 
+    # -- fault state (reachability) --------------------------------------
+
+    def set_reachable(self, endpoint: int, reachable: bool) -> None:
+        """Mark an endpoint up or down for *remote* traffic.
+
+        A down endpoint models a crashed or partitioned machine: remote
+        messages from or to it are silently dropped (their delivery
+        events never fire).  Local (self-addressed) delivery still works
+        — a partitioned machine's engines keep talking to the co-located
+        storage engine; only the network is cut.
+        """
+        if not 0 <= endpoint < len(self.nics):
+            raise SimulationError(f"invalid endpoint {endpoint}")
+        self._reachable[endpoint] = reachable
+
+    def is_reachable(self, endpoint: int) -> bool:
+        return self._reachable[endpoint]
+
+    def _drop(self, message: Message) -> None:
+        self.messages_dropped += 1
+
     # -- sending ---------------------------------------------------------
 
     def send(
@@ -110,14 +153,19 @@ class Network:
         kind: str,
         size: int,
         payload: Any = None,
+        epoch: int = 0,
     ) -> Event:
         """Send a message; the returned event fires on *delivery*.
 
         Delivery places the message into the destination mailbox.  The
         sender does not block on delivery (fire and forget); callers that
-        need completion semantics can wait on the returned event.
+        need completion semantics can wait on the returned event.  If
+        either endpoint is unreachable the message is dropped and the
+        returned event never fires — callers needing progress guarantees
+        must pair the event with a timeout (the fault-tolerant RPC
+        pattern the computation engine uses).
         """
-        if not 0 <= dst < self.machines:
+        if not 0 <= dst < len(self.nics):
             raise SimulationError(f"invalid destination machine {dst}")
         message = Message(
             src=src,
@@ -132,6 +180,7 @@ class Network:
                 if self._san is not None
                 else None
             ),
+            epoch=epoch,
         )
         mailbox = self.mailbox(dst, service)
         delivered = Event(self.sim, name=f"deliver.{kind}")
@@ -141,11 +190,22 @@ class Network:
             self.sim.schedule(0.0, self._deliver, mailbox, message, delivered)
             return delivered
 
+        if not (self._reachable[src] and self._reachable[dst]):
+            # Fail-stop link: a dead sender emits nothing; a message for
+            # a dead receiver is dropped without charging the fabric.
+            self._drop(message)
+            return delivered
+
         wire_size = size + self.MESSAGE_OVERHEAD
         label = f"tx:{kind}" if self._trace_on else None
         tx_done = self.nics[src].egress.service(wire_size, label=label)
 
         def after_tx(_event: Event) -> None:
+            if not (self._reachable[src] and self._reachable[dst]):
+                # Link state changed while the message sat in the egress
+                # queue or crossed the switch: drop in flight.
+                self._drop(message)
+                return
             hop_latency = self.switch.forward(wire_size)
             self.sim.schedule(hop_latency, self._receive, dst, wire_size,
                               mailbox, message, delivered)
@@ -161,6 +221,10 @@ class Network:
         message: Message,
         delivered: Event,
     ) -> None:
+        if not self._reachable[dst]:
+            # The receiver died while the message crossed the switch.
+            self._drop(message)
+            return
         label = f"rx:{message.kind}" if self._trace_on else None
         rx_done = self.nics[dst].ingress.service(wire_size, label=label)
         rx_done.subscribe(lambda _e: self._deliver(mailbox, message, delivered))
@@ -182,8 +246,11 @@ class Network:
         return self.switch.bytes_forwarded
 
     def aggregate_nic_utilization(self, elapsed: float) -> float:
-        """Mean egress utilization over all NICs."""
+        """Mean egress utilization over the compute machines' NICs."""
         if elapsed <= 0 or not self.nics:
             return 0.0
-        total = sum(nic.egress.meter.utilization(elapsed) for nic in self.nics)
-        return total / len(self.nics)
+        compute_nics = self.nics[: self.machines]
+        total = sum(
+            nic.egress.meter.utilization(elapsed) for nic in compute_nics
+        )
+        return total / len(compute_nics)

@@ -32,6 +32,7 @@ from repro.obs.export import (
     write_counters_csv,
 )
 from repro.obs.report import (
+    RECOVERY_CATEGORIES,
     TraceSummary,
     format_trace_report,
     load_trace,
@@ -57,6 +58,7 @@ __all__ = [
     "NULL_TRACER",
     "NULL_TRACK",
     "NullTracer",
+    "RECOVERY_CATEGORIES",
     "ResourceSampler",
     "TID_DEVICE",
     "TID_ENGINE",

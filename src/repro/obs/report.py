@@ -22,6 +22,12 @@ from typing import Dict, List, Tuple
 
 from repro.core.metrics import BREAKDOWN_CATEGORIES
 
+#: Categories the fault-injection supervisor stamps on the cluster job
+#: track: work discarded by a rollback and checkpoint-restore time.
+#: Tracked separately from the Figure 17 breakdown — they are wall-time
+#: windows of the job, not per-engine busy time.
+RECOVERY_CATEGORIES = ("lost", "restore")
+
 #: Trace Event Format microseconds → seconds.
 _SECONDS = 1e-6
 
@@ -125,7 +131,7 @@ def summarize_trace(trace: dict) -> TraceSummary:
             stats = summary.spans.setdefault(name, SpanStats())
             stats.count += 1
             stats.total += duration
-            if cat in BREAKDOWN_CATEGORIES:
+            if cat in BREAKDOWN_CATEGORIES or cat in RECOVERY_CATEGORIES:
                 summary.category_seconds[cat] = (
                     summary.category_seconds.get(cat, 0.0) + duration
                 )
@@ -135,6 +141,11 @@ def summarize_trace(trace: dict) -> TraceSummary:
             stats = summary.spans.setdefault(event["name"], SpanStats())
             stats.count += 1
             stats.total += duration
+            cat = event.get("cat")
+            if cat in RECOVERY_CATEGORIES:
+                summary.category_seconds[cat] = (
+                    summary.category_seconds.get(cat, 0.0) + duration
+                )
             summary.track_busy[key] = (
                 summary.track_busy.get(key, 0.0) + duration
             )
@@ -202,11 +213,26 @@ def format_trace_report(summary: TraceSummary, top: int = 12) -> str:
     if summary.category_seconds:
         lines.append("")
         lines.append("breakdown categories (engine spans, summed):")
-        total = sum(summary.category_seconds.values())
+        total = sum(
+            summary.category_seconds.get(cat, 0.0)
+            for cat in BREAKDOWN_CATEGORIES
+        )
         for cat in BREAKDOWN_CATEGORIES:
             seconds = summary.category_seconds.get(cat, 0.0)
             share = seconds / total if total > 0 else 0.0
             lines.append(f"  {cat:<11s} {seconds:12.6f}s  {share:6.1%}")
+
+    recovery_total = sum(
+        summary.category_seconds.get(cat, 0.0) for cat in RECOVERY_CATEGORIES
+    )
+    if recovery_total > 0:
+        lines.append("")
+        lines.append("recovery decomposition (fault injection, job wall time):")
+        useful = summary.duration - recovery_total
+        lines.append(f"  {'useful':<11s} {useful:12.6f}s")
+        for cat in RECOVERY_CATEGORIES:
+            seconds = summary.category_seconds.get(cat, 0.0)
+            lines.append(f"  {cat:<11s} {seconds:12.6f}s")
 
     if summary.spans:
         lines.append("")

@@ -196,6 +196,17 @@ class Process:
         self._interrupts.append(Interrupt(cause))
         self.sim.schedule(0.0, self._deliver_interrupts)
 
+    def kill(self, cause: Any = None) -> None:
+        """Interrupt the process if it is still alive; no-op otherwise.
+
+        Fault injection uses this to fence a crashed machine's processes:
+        unlike :meth:`interrupt`, killing an already-finished process is
+        not an error (the supervisor cannot know which of a machine's
+        processes happened to finish before the crash struck).
+        """
+        if self.alive:
+            self.interrupt(cause)
+
     def _deliver_interrupts(self) -> None:
         if not self.alive and self._interrupts:
             self._interrupts.clear()

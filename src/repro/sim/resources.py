@@ -75,6 +75,7 @@ class FifoServer:
         "meter",
         "_trace_track",
         "_trace_label",
+        "_nominal_bandwidth",
     )
 
     def __init__(
@@ -92,10 +93,29 @@ class FifoServer:
         self.name = name
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
+        self._nominal_bandwidth = float(bandwidth)
         self._busy_until = 0.0
         self.meter = UtilizationMeter()
         self._trace_track = None
         self._trace_label = name or "service"
+
+    def degrade(self, factor: float) -> None:
+        """Slow the server to ``nominal_bandwidth / factor``.
+
+        Models a degraded device (slow-disk fault injection).  Requests
+        already queued keep their completion times; only new arrivals
+        see the reduced rate — the analytic FIFO fold makes partial
+        re-queueing of in-flight work impossible, and a boundary at the
+        fault instant is the behaviour a real FIFO disk queue shows
+        anyway (commands already submitted complete at the old rate).
+        """
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be positive, got {factor}")
+        self.bandwidth = self._nominal_bandwidth / factor
+
+    def restore_bandwidth(self) -> None:
+        """Undo :meth:`degrade`: back to the nominal service rate."""
+        self.bandwidth = self._nominal_bandwidth
 
     def enable_trace(self, track, label: str = "") -> None:
         """Record every service interval as a span on ``track``.
@@ -262,3 +282,16 @@ class Mailbox:
         if self._items:
             return True, self._items.popleft()
         return False, None
+
+    def reset(self) -> int:
+        """Drop queued items and abandon blocked getters; return #dropped.
+
+        Fault recovery uses this when a machine's consumer process was
+        killed: messages delivered after the crash must not be consumed
+        by a stale ``get`` event (whose waiter no longer exists) or leak
+        into the restarted consumer's epoch.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        self._getters.clear()
+        return dropped

@@ -43,6 +43,46 @@ class Barrier:
         # Total time spent waiting at this barrier, per party index order
         # of arrival (aggregated, for diagnostics).
         self.total_wait_time = 0.0
+        # Stall detection (fault tolerance): if a generation stays open
+        # longer than ``_stall_timeout`` after its first arrival, the
+        # watchdog reports the missing parties — the mechanism by which
+        # the barrier coordinator notices a dead peer and can trigger a
+        # cluster-wide rollback.
+        self._stall_timeout: Optional[float] = None
+        self._on_stall = None
+        self._watched_generation = -1
+
+    def set_stall_watch(self, timeout: float, callback) -> None:
+        """Arm stall detection: ``callback(missing_parties, generation)``.
+
+        The callback fires at most once per generation, ``timeout``
+        seconds after the generation's first arrival if the barrier has
+        not released by then.  ``missing_parties`` lists the party ids
+        that have not arrived (parties that waited anonymously cannot be
+        attributed and are not listed).
+        """
+        if timeout <= 0:
+            raise ValueError(f"stall timeout must be positive, got {timeout}")
+        self._stall_timeout = timeout
+        self._on_stall = callback
+
+    def _watch_generation(self, generation: int) -> None:
+        if self._watched_generation >= generation:
+            return
+        self._watched_generation = generation
+        self.sim.schedule(self._stall_timeout, self._check_stall, generation)
+
+    def _check_stall(self, generation: int) -> None:
+        if self.generation != generation or not self._arrived:
+            return  # released (or reset) in time
+        if self._on_stall is None:
+            return
+        missing = [
+            p
+            for p in range(self.parties)
+            if p not in self._arrival_parties
+        ]
+        self._on_stall(missing, generation)
 
     def wait(self, party: Optional[int] = None) -> Event:
         """Arrive at the barrier; the returned event fires on release.
@@ -58,6 +98,8 @@ class Barrier:
         self._arrived.append(event)
         self._arrival_times.append(self.sim.now)
         self._arrival_parties.append(party)
+        if self._stall_timeout is not None and len(self._arrived) == 1:
+            self._watch_generation(self.generation)
         if len(self._arrived) == self.parties:
             release_time = self.sim.now
             waiters, self._arrived = self._arrived, []

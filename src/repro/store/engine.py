@@ -21,6 +21,17 @@ Protocol (service name ``"storage"``):
 
 Replies carry the original ``request_id`` so computation engines can
 keep many requests outstanding (the batch window of Section 6.5).
+
+Fault tolerance (Section 6.6): the engine's dispatcher can be
+:meth:`crashed <StorageEngine.crash>` and :meth:`restarted
+<StorageEngine.restart>` by the fault injector.  The chunk backend
+survives a crash — Chaos assumes transient machine failures, so a
+rebooted machine comes back with its secondary storage intact.  Every
+request carries the sender's recovery ``epoch``; requests from before
+the engine's :attr:`data_epoch` are dropped, which fences writes still
+in flight when a cluster-wide rollback begins (they must not land after
+the rollback's deletes).  Replies echo the request's epoch so stale
+replies are identifiable at the requester too.
 """
 
 from __future__ import annotations
@@ -80,7 +91,50 @@ class StorageEngine:
         self.exhausted_replies = 0
         #: Chunk reads served, by data-structure kind (protocol audits).
         self.reads_by_kind = {kind: 0 for kind in ChunkKind}
-        sim.process(self._dispatch(), name=f"storage{machine}")
+        #: Recovery epoch this engine's data plane belongs to; requests
+        #: stamped with an older epoch are fenced (dropped).
+        self.data_epoch = 0
+        #: Requests dropped by the epoch fence.
+        self.stale_dropped = 0
+        self.restarts = 0
+        self._process = sim.process(self._dispatch(), name=f"storage{machine}")
+
+    # -- fault injection ---------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher is serving requests."""
+        return self._process.alive
+
+    def crash(self) -> None:
+        """Fail-stop: kill the dispatcher; the chunk backend survives.
+
+        Device requests already queued keep their (analytic) completion
+        times; their reply sends originate from an unreachable machine
+        and are dropped by the transport, so nothing escapes.
+        """
+        self._process.kill("storage-crash")
+
+    def restart(self) -> None:
+        """Reboot the engine: fresh dispatcher over the surviving backend."""
+        if self._process.alive:
+            return
+        self._mailbox.reset()  # requests queued while down are lost
+        self.restarts += 1
+        self._process = self.sim.process(
+            self._dispatch(), name=f"storage{self.machine}.r{self.restarts}"
+        )
+
+    def advance_epoch(self, epoch: int) -> None:
+        """Fence all traffic from recovery epochs before ``epoch``."""
+        self.data_epoch = epoch
+
+    def degrade_device(self, factor: float) -> None:
+        """Slow-device fault: divide the device bandwidth by ``factor``."""
+        self.device.degrade(factor)
+
+    def restore_device(self) -> None:
+        self.device.restore_bandwidth()
 
     # -- local (same-machine, zero-cost) queries -------------------------
 
@@ -136,6 +190,12 @@ class StorageEngine:
     def _dispatch(self):
         while True:
             message = yield self._mailbox.get()
+            if message.epoch < self.data_epoch:
+                # A straggler from before a rollback (e.g. an update
+                # write that was in flight when the cluster fenced):
+                # executing it would corrupt the restored state.
+                self.stale_dropped += 1
+                continue
             handler = getattr(self, f"_handle_{message.kind}", None)
             if handler is None:
                 raise RuntimeError(
@@ -151,6 +211,7 @@ class StorageEngine:
         kind: str,
         size: int,
         payload,
+        epoch: int = 0,
     ) -> None:
         self.network.send(
             src=self.machine,
@@ -159,6 +220,7 @@ class StorageEngine:
             kind=kind,
             size=size,
             payload=payload,
+            epoch=epoch,
         )
 
     def _handle_read(self, message) -> None:
@@ -181,6 +243,7 @@ class StorageEngine:
                 "read_reply",
                 EXHAUSTED_BYTES,
                 (request_id, None),
+                epoch=message.epoch,
             )
             return
         self.reads_served += 1
@@ -188,12 +251,13 @@ class StorageEngine:
         label = f"read:{kind.value}:p{partition}" if self._trace_on else None
         done = self.device.service(chunk.size, label=label)
         done.subscribe(
-            lambda _e: self._reply(
+            lambda _e, epoch=message.epoch: self._reply(
                 requester,
                 reply_service,
                 "read_reply",
                 chunk.size,
                 (request_id, chunk),
+                epoch=epoch,
             )
         )
 
@@ -213,8 +277,14 @@ class StorageEngine:
             else None
         )
         done = self.device.service(chunk.size, label=label)
+        epoch = message.epoch
 
         def complete(_event: Event) -> None:
+            if epoch < self.data_epoch:
+                # The cluster rolled back while this write sat in the
+                # device queue: discard instead of resurrecting it.
+                self.stale_dropped += 1
+                return
             self.backend.append_chunk(chunk)
             self._reply(
                 requester,
@@ -222,6 +292,7 @@ class StorageEngine:
                 "write_ack",
                 CONTROL_BYTES,
                 (request_id, None),
+                epoch=epoch,
             )
 
         done.subscribe(complete)
@@ -236,6 +307,7 @@ class StorageEngine:
                 "vread_reply",
                 EXHAUSTED_BYTES,
                 (request_id, None),
+                epoch=message.epoch,
             )
             return
         self.reads_served += 1
@@ -243,12 +315,13 @@ class StorageEngine:
         label = f"vread:p{partition}" if self._trace_on else None
         done = self.device.service(chunk.size, label=label)
         done.subscribe(
-            lambda _e: self._reply(
+            lambda _e, epoch=message.epoch: self._reply(
                 requester,
                 reply_service,
                 "vread_reply",
                 chunk.size,
                 (request_id, chunk),
+                epoch=epoch,
             )
         )
 
@@ -257,8 +330,12 @@ class StorageEngine:
         self.writes_served += 1
         label = f"vwrite:p{chunk.partition}" if self._trace_on else None
         done = self.device.service(chunk.size, label=label)
+        epoch = message.epoch
 
         def complete(_event: Event) -> None:
+            if epoch < self.data_epoch:
+                self.stale_dropped += 1
+                return
             self.backend.put_vertex_chunk(chunk)
             self._reply(
                 requester,
@@ -266,6 +343,7 @@ class StorageEngine:
                 "write_ack",
                 CONTROL_BYTES,
                 (request_id, None),
+                epoch=epoch,
             )
 
         done.subscribe(complete)
@@ -282,12 +360,13 @@ class StorageEngine:
         label = "pwrite" if self._trace_on else None
         done = self.device.service(size, label=label)
         done.subscribe(
-            lambda _e: self._reply(
+            lambda _e, epoch=message.epoch: self._reply(
                 requester,
                 reply_service,
                 "write_ack",
                 CONTROL_BYTES,
                 (request_id, None),
+                epoch=epoch,
             )
         )
 

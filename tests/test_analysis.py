@@ -253,6 +253,90 @@ class TestNondetOrder:
 
 
 # ---------------------------------------------------------------------------
+# CHX006: broad exception handlers that can swallow Interrupt
+
+
+class TestBroadExcept:
+    def test_flags_bare_except(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        result = lint(source)
+        assert rule_ids(result) == ["CHX006"]
+        assert result.findings[0].line == 4
+
+    @pytest.mark.parametrize("exc", ["Exception", "BaseException"])
+    def test_flags_broad_catch(self, exc):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            f"    except {exc}:\n"
+            "        log()\n"
+        )
+        result = lint(source)
+        assert rule_ids(result) == ["CHX006"]
+
+    def test_flags_broad_catch_in_tuple(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, Exception) as error:\n"
+            "        log(error)\n"
+        )
+        result = lint(source)
+        assert rule_ids(result) == ["CHX006"]
+
+    def test_flags_in_faults_package(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        result = lint(source, path="src/repro/faults/fixture.py")
+        assert rule_ids(result) == ["CHX006"]
+
+    def test_allows_reraise(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        result = lint(source)
+        assert result.clean
+
+    def test_allows_specific_exceptions(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, KeyError):\n"
+            "        pass\n"
+        )
+        result = lint(source)
+        assert result.clean
+
+    def test_ignores_outside_engine_packages(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        result = lint(source, path=OUTSIDE_PATH)
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
 # Engine mechanics: suppression, syntax errors, path walking
 
 
@@ -309,7 +393,7 @@ class TestEngine:
 
     def test_rule_table_covers_all_rules(self):
         assert sorted(RULE_TABLE) == [
-            "CHX001", "CHX002", "CHX003", "CHX004", "CHX005",
+            "CHX001", "CHX002", "CHX003", "CHX004", "CHX005", "CHX006",
         ]
 
 

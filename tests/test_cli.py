@@ -120,6 +120,57 @@ class TestRun:
         assert payload["rounds"] >= 1
 
 
+class TestInjectFault:
+    def _run(self, capsys, *extra):
+        code = main(
+            [
+                "run", "--algorithm", "PR", "--scale", "8",
+                "--machines", "4", "--chunk-kb", "4", "--checkpoint",
+                *extra,
+            ]
+        )
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_crash_with_verification(self, capsys):
+        code, out = self._run(
+            capsys, "--inject-fault", "crash:1@iter=2", "--verify-recovery"
+        )
+        assert code == 0
+        assert "fault timeline" in out
+        assert "recoveries: 1" in out
+        assert "final values identical to undisturbed run" in out
+
+    def test_multiple_faults(self, capsys):
+        code, out = self._run(
+            capsys,
+            "--inject-fault", "crash-restart:1@iter=1,down=0.01",
+            "--inject-fault", "partition:2@iter=3,for=0.05",
+        )
+        assert code == 0
+        assert "faults injected: 2" in out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --inject-fault"):
+            main(["run", "--algorithm", "PR", "--scale", "8",
+                  "--inject-fault", "nope:1@iter=2"])
+
+    def test_driver_algorithms_rejected(self):
+        with pytest.raises(SystemExit, match="MCST"):
+            main(["run", "--algorithm", "MCST", "--scale", "8",
+                  "--inject-fault", "crash:1@iter=2"])
+
+    def test_sanitize_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["run", "--algorithm", "PR", "--scale", "8", "--sanitize",
+                  "--inject-fault", "crash:1@iter=2"])
+
+    def test_verify_requires_inject(self):
+        with pytest.raises(SystemExit, match="requires --inject-fault"):
+            main(["run", "--algorithm", "PR", "--scale", "8",
+                  "--verify-recovery"])
+
+
 class TestTrace:
     def _run_traced(self, capsys, trace_path, *extra):
         code = main(

@@ -3,8 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import BFS, PageRank, WCC
-from repro.core.recovery import RecoveryReport, run_with_failure
+from repro.algorithms import BFS, BeliefPropagation, KCore, PageRank, WCC
+from repro.core.recovery import (
+    RecoveryReport,
+    _BoundedIterations,
+    run_with_failure,
+)
 from repro.core.runtime import ChaosCluster, run_algorithm
 from repro.graph import rmat_graph, to_undirected
 
@@ -54,6 +58,84 @@ class TestResumeFromValues:
             )
 
 
+class TestStartIterationResume:
+    """Checkpoint-resume with ``start_iteration`` on iteration-stamped
+    algorithms: the resumed run must continue the iteration numbering,
+    so its values equal the undisturbed run's — not just for
+    PageRank-style algorithms whose update ignores the iteration."""
+
+    def test_bp_split_equals_straight_run(self, small_graph):
+        config = fast_config(2)
+        straight = ChaosCluster(config).run(
+            BeliefPropagation(iterations=4), small_graph
+        )
+        first = ChaosCluster(config).run(
+            BeliefPropagation(iterations=2), small_graph
+        )
+        resumed = ChaosCluster(config).run(
+            BeliefPropagation(iterations=4),
+            small_graph,
+            initial_values={k: np.copy(v) for k, v in first.values.items()},
+            start_iteration=2,
+        )
+        for name in straight.values:
+            assert np.array_equal(resumed.values[name], straight.values[name])
+
+    def test_kcore_split_equals_straight_run(self, small_undirected_graph):
+        config = fast_config(2)
+        straight = ChaosCluster(config).run(KCore(2), small_undirected_graph)
+        bounded = _BoundedIterations(KCore(2), 2)
+        first = ChaosCluster(config).run(bounded, small_undirected_graph)
+        resumed = ChaosCluster(config).run(
+            KCore(2),
+            small_undirected_graph,
+            initial_values={k: np.copy(v) for k, v in first.values.items()},
+            start_iteration=2,
+        )
+        for name in straight.values:
+            assert np.array_equal(resumed.values[name], straight.values[name])
+
+    def test_bfs_resume_preserves_distance_stamps(self):
+        """BFS stamps distances with the iteration number, so a resume
+        that restarted the numbering would corrupt every distance
+        discovered after the checkpoint."""
+        graph = to_undirected(rmat_graph(8, seed=3, weighted=True))
+        config = fast_config(2)
+        straight = ChaosCluster(config).run(BFS(root=0), graph)
+        bounded = _BoundedIterations(BFS(root=0), 2)
+        first = ChaosCluster(config).run(bounded, graph)
+        resumed = ChaosCluster(config).run(
+            BFS(root=0),
+            graph,
+            initial_values={k: np.copy(v) for k, v in first.values.items()},
+            start_iteration=2,
+        )
+        assert np.array_equal(
+            resumed.values["distance"], straight.values["distance"]
+        )
+
+
+class TestBoundedIterationsForwarding:
+    def test_forwards_unknown_hooks_to_inner(self):
+        inner = PageRank(iterations=5)
+        bounded = _BoundedIterations(inner, 2)
+        # Delegation is generic: any hook the engine probes for reaches
+        # the wrapped algorithm without a hand-written stub.
+        assert bounded.scatter == inner.scatter
+        assert bounded.combine_updates == inner.combine_updates
+        assert bounded.max_iterations == 2
+        assert bounded.name == inner.name
+        with pytest.raises(AttributeError):
+            bounded.not_a_hook
+
+    def test_finished_stops_at_bound(self, small_graph):
+        config = fast_config(2)
+        result = ChaosCluster(config).run(
+            _BoundedIterations(PageRank(iterations=5), 2), small_graph
+        )
+        assert result.iterations == 2
+
+
 class TestRunWithFailure:
     def test_recovered_result_matches_baseline(self, small_graph):
         config = fast_config(2, checkpointing=True)
@@ -98,6 +180,45 @@ class TestRunWithFailure:
         assert report.total_runtime > report.baseline_runtime
         assert report.total_runtime < 2.5 * report.baseline_runtime
         assert "failed at iteration 2" in report.summary()
+
+    def test_restore_cost_includes_network(self, small_graph):
+        """Restore reads remote checkpoint replicas, so its cost must
+        include the network stage, not just raw device bandwidth: on a
+        slow network the transfer is ingress-bound."""
+        fast_net = fast_config(4, checkpointing=True)
+        slow_net = fast_net.with_(
+            network=fast_net.network.__class__(
+                bandwidth=fast_net.network.bandwidth / 1000,
+                latency=fast_net.network.latency,
+                name="slow",
+            )
+        )
+        factory = lambda: PageRank(iterations=4)
+        fast_report = run_with_failure(
+            factory, small_graph, fast_net, fail_after_iterations=2
+        )
+        slow_report = run_with_failure(
+            factory, small_graph, slow_net, fail_after_iterations=2
+        )
+        # Latency floor: at least one request round trip.
+        assert fast_report.restore_seconds >= fast_net.network.round_trip()
+        # A 1000x slower network must slow the restore.
+        assert slow_report.restore_seconds > 2 * fast_report.restore_seconds
+
+    def test_report_extended_fields(self, small_graph):
+        config = fast_config(2, checkpointing=True)
+        report = run_with_failure(
+            lambda: PageRank(iterations=4),
+            small_graph,
+            config,
+            fail_after_iterations=2,
+        )
+        assert report.values_match_baseline is True
+        assert report.useful_seconds > 0
+        assert report.lost_seconds > 0
+        # The analytic path injects no live faults.
+        assert report.faults == ()
+        assert report.timeline is None
 
     def test_requires_checkpointing(self, small_graph):
         with pytest.raises(ValueError, match="checkpointing"):

@@ -1,4 +1,4 @@
-"""Codebase-specific determinism rules (CHX001 … CHX006).
+"""Codebase-specific determinism rules (CHX001 … CHX007).
 
 Each rule targets one way a change can silently break the invariant
 that a run is a deterministic function of ``(config, seed)``:
@@ -16,6 +16,8 @@ CHX005   iteration over sets feeding the simulated schedule; mutable
 CHX006   broad exception handlers (bare ``except:`` /
          ``except Exception:``) in engine packages that can swallow
          the simulator's process-kill ``Interrupt``
+CHX007   ad-hoc ``print``/``logging`` telemetry in engine packages
+         instead of Tracer spans / CounterRegistry series
 =======  ==========================================================
 """
 
@@ -461,6 +463,84 @@ class BroadExceptRule(Rule):
             )
 
 
+class AdHocTelemetryRule(Rule):
+    """CHX007: ad-hoc ``print``/``logging`` telemetry in engine packages.
+
+    Engine code must emit observations through the structured channels —
+    :class:`repro.obs.Tracer` spans/instants and
+    :class:`repro.obs.CounterRegistry` time series — so every signal is
+    timestamped on the simulated clock, lands in the exported trace, and
+    stays byte-deterministic.  A stray ``print`` (or ``logging`` call,
+    or direct ``sys.stdout``/``sys.stderr`` write) bypasses all of that:
+    it interleaves wall-clock-ordered text with the CLI's own output and
+    is invisible to ``trace-report`` and the bench snapshots.
+    """
+
+    rule_id = "CHX007"
+    severity = "error"
+    title = "ad-hoc telemetry bypasses Tracer/CounterRegistry"
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
+
+    _STREAMS = frozenset({"stdout", "stderr"})
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_packages(SIM_PACKAGES)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Tuple[int, str]]:
+        if isinstance(node, ast.Import):
+            bad = sorted(
+                alias.name for alias in node.names
+                if alias.name == "logging" or alias.name.startswith("logging.")
+            )
+            if bad:
+                yield (
+                    node.lineno,
+                    "importing 'logging' in an engine package; emit "
+                    "telemetry through Tracer spans/instants or "
+                    "CounterRegistry series instead",
+                )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "logging" or (
+                node.module or ""
+            ).startswith("logging."):
+                yield (
+                    node.lineno,
+                    "importing from 'logging' in an engine package; emit "
+                    "telemetry through Tracer spans/instants or "
+                    "CounterRegistry series instead",
+                )
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield (
+                node.lineno,
+                "print() in an engine package; record the observation as "
+                "a Tracer span/instant or a CounterRegistry sample so it "
+                "is simulated-clock-stamped and lands in the trace",
+            )
+            return
+        chain = _attr_chain(func)
+        if not chain or len(chain) < 2:
+            return
+        if chain[0] == "logging":
+            yield (
+                node.lineno,
+                f"logging call {'.'.join(chain)}() in an engine package; "
+                f"emit telemetry through Tracer/CounterRegistry instead",
+            )
+        elif (
+            chain[-1] in ("write", "writelines")
+            and len(chain) >= 2
+            and chain[-2] in self._STREAMS
+        ):
+            yield (
+                node.lineno,
+                f"direct {chain[-2]}.{chain[-1]}() in an engine package; "
+                f"emit telemetry through Tracer/CounterRegistry instead",
+            )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every CHX rule (rules hold per-file state)."""
     return [
@@ -470,6 +550,7 @@ def default_rules() -> List[Rule]:
         ProcessHygieneRule(),
         NondetOrderRule(),
         BroadExceptRule(),
+        AdHocTelemetryRule(),
     ]
 
 
@@ -481,6 +562,7 @@ DEFAULT_RULES = (
     ProcessHygieneRule,
     NondetOrderRule,
     BroadExceptRule,
+    AdHocTelemetryRule,
 )
 
 #: Mapping rule id -> one-line description (the README rule table).

@@ -15,7 +15,14 @@ Commands
     The closed-form storage-utilization table of Figure 5.
 ``trace-report``
     Summarize a ``--trace`` JSON file in the terminal: per-device and
-    per-NIC utilization, breakdown categories, top spans, counters.
+    per-NIC utilization, breakdown categories, top spans, counters,
+    and the per-iteration bottleneck-attribution table.
+``bench``
+    Run the tracked benchmark scenarios into a schema-versioned
+    ``BENCH_<label>.json`` snapshot (runtime, attribution vector,
+    utilization, bytes moved, checkpoint overhead per scenario), or
+    diff two snapshots with per-metric tolerances (``--compare``);
+    non-zero exit on regression — the CI perf gate.
 ``check``
     Determinism lint: run the CHX rules (:mod:`repro.analysis`) over
     source trees; non-zero exit on findings.  ``--format github`` emits
@@ -143,6 +150,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="with --inject-fault: also run an undisturbed "
                           "twin and exit non-zero unless the final vertex "
                           "values are byte-identical")
+    run.add_argument("--attribute", action="store_true",
+                     help="record a trace (even without --trace) and "
+                          "print the bottleneck-attribution report: "
+                          "per-category time, binding resource, "
+                          "utilization vs the Eq. 4 prediction, "
+                          "stragglers")
 
     capacity = commands.add_parser(
         "capacity", help="paper-scale capacity projection (model mode)"
@@ -167,6 +180,26 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="trace file written by run --trace")
     report.add_argument("--top", type=int, default=12,
                         help="span rows to show (by total time)")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark snapshots and the perf regression gate"
+    )
+    bench.add_argument("--label", default="local",
+                       help="snapshot label (file is BENCH_<label>.json)")
+    bench.add_argument("--scenario", action="append", metavar="NAME",
+                       help="run only this scenario (repeatable; "
+                            "see --list)")
+    bench.add_argument("--out", metavar="PATH",
+                       help="snapshot output path (default: "
+                            "BENCH_<label>.json in the current directory)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the tracked scenarios and exit")
+    bench.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
+                       help="diff two snapshots instead of running; "
+                            "exit 1 if NEW regresses vs BASE")
+    bench.add_argument("--tolerance", action="append", metavar="METRIC=REL",
+                       help="override a metric's relative tolerance for "
+                            "--compare, e.g. runtime=0.10 (repeatable)")
 
     check = commands.add_parser(
         "check", help="determinism lint (CHX rules) over source trees"
@@ -248,6 +281,11 @@ def _command_run(args) -> int:
 
         interval = args.trace_sample_interval
         tracer = Tracer(sample_interval=interval if interval > 0 else None)
+    elif args.attribute:
+        from repro.obs import Tracer
+
+        # Attribution only needs spans, not counter time series.
+        tracer = Tracer(sample_interval=None)
 
     sanitizer = None
     if args.sanitize:
@@ -321,13 +359,26 @@ def _command_run(args) -> int:
                 print(f"counters: {len(tracer.registry.names())} series -> "
                       f"{args.trace_csv}")
 
+    attribution = None
+    if args.attribute:
+        from repro.obs.critpath import analyze_tracer
+
+        attribution = analyze_tracer(tracer)
+
     sanitize_failed = False
     if sanitizer is not None:
         sanitize_failed = bool(sanitizer.races)
     failed = sanitize_failed or recovery_mismatch
 
     if args.json:
-        print(result.to_json(indent=2))
+        if attribution is not None:
+            import json as json_module
+
+            payload = result.to_dict()
+            payload["attribution"] = attribution.to_dict()
+            print(json_module.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(result.to_json(indent=2))
         if sanitizer is not None:
             print(sanitizer.summary(), file=sys.stderr)
         if timeline is not None:
@@ -364,6 +415,11 @@ def _command_run(args) -> int:
     if sanitizer is not None:
         print()
         print(sanitizer.summary())
+    if attribution is not None:
+        from repro.obs.critpath import format_attribution_report
+
+        print()
+        print(format_attribution_report(attribution))
     return 1 if failed else 0
 
 
@@ -408,12 +464,88 @@ def _command_utilization(args) -> int:
 
 def _command_trace_report(args) -> int:
     from repro.obs import format_trace_report, summarize_trace_file
+    from repro.obs.critpath import (
+        AttributionError,
+        analyze_chrome_trace,
+        format_iteration_table,
+    )
+    from repro.obs.report import load_trace
 
     try:
         summary = summarize_trace_file(args.path)
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot read trace {args.path!r}: {error}")
     print(format_trace_report(summary, top=args.top))
+    try:
+        attribution = analyze_chrome_trace(load_trace(args.path))
+    except AttributionError:
+        return 0  # spanless trace (counters only): nothing to attribute
+    print()
+    for line in format_iteration_table(attribution):
+        print(line)
+    print(
+        f"binding resource: {attribution.bottleneck} "
+        f"(dominant category: {attribution.dominant_category})"
+    )
+    return 0
+
+
+def _parse_tolerances(specs):
+    from repro.obs.bench import METRIC_POLICIES
+
+    tolerances = {}
+    for spec in specs or ():
+        metric, _, value = spec.partition("=")
+        if metric not in METRIC_POLICIES:
+            raise SystemExit(
+                f"unknown metric {metric!r} in --tolerance (known: "
+                f"{', '.join(sorted(METRIC_POLICIES))})"
+            )
+        try:
+            tolerances[metric] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --tolerance value {spec!r}")
+    return tolerances
+
+
+def _command_bench(args) -> int:
+    from repro.obs import bench
+
+    if args.list:
+        for scenario in bench.DEFAULT_SCENARIOS:
+            print(f"{scenario.name:<16}{scenario.description}")
+        return 0
+
+    if args.compare:
+        tolerances = _parse_tolerances(args.tolerance)
+        try:
+            base = bench.load_snapshot(args.compare[0])
+            new = bench.load_snapshot(args.compare[1])
+            comparison = bench.compare_snapshots(base, new, tolerances)
+        except (OSError, ValueError) as error:
+            print(f"bench compare error: {error}", file=sys.stderr)
+            return 2
+        for line in comparison.lines():
+            print(line)
+        verdict = "PASS" if comparison.ok else "FAIL"
+        print(
+            f"{verdict}: {len(comparison.regressions)} regression(s), "
+            f"{len(comparison.improvements)} improvement(s)"
+        )
+        return 0 if comparison.ok else 1
+
+    try:
+        snapshot = bench.run_scenarios(
+            args.scenario, label=args.label, progress=print
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    out = args.out or bench.snapshot_path(args.label)
+    size = bench.write_snapshot(snapshot, out)
+    print(
+        f"wrote {len(snapshot['scenarios'])} scenario(s) -> {out} "
+        f"({size / 1e3:.1f} kB)"
+    )
     return 0
 
 
@@ -470,6 +602,7 @@ def main(argv: Optional[list] = None) -> int:
         "capacity": _command_capacity,
         "utilization": _command_utilization,
         "trace-report": _command_trace_report,
+        "bench": _command_bench,
         "check": _command_check,
     }
     try:

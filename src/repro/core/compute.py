@@ -51,7 +51,7 @@ from repro.core.metrics import Breakdown
 from repro.core.stealing import estimate_cluster_remaining, should_accept_steal
 from repro.core.workload import UpdateBatch, Workload
 from repro.net.transport import Network
-from repro.obs.tracer import NULL_TRACK, TID_ENGINE
+from repro.obs.tracer import NULL_TRACK, TID_CPU, TID_ENGINE
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import CoreBank
 from repro.sim.sync import Barrier, WaitGroup
@@ -169,6 +169,13 @@ class ComputationEngine:
 
         self.layout = workload.layout
         self.cores = CoreBank(sim, config.cores, name=f"m{machine}.cores")
+        if self._trace_on:
+            # Chunk-processing CPU occupancy on its own track: the
+            # attribution analyzer unions these spans into the machine's
+            # CPU-busy timeline.
+            self.cores.enable_trace(
+                tracer.thread(machine, TID_CPU, "cpu"), label="exec"
+            )
         self.metrics = Breakdown()
         self.window = config.effective_request_window()
         # Stable arithmetic seeds: Python string hashing is salted per
@@ -358,9 +365,7 @@ class ComputationEngine:
             state.stealers.append(proposer)
             if state.kind is ChunkKind.UPDATES and state.accum_group is not None:
                 state.accum_group.add(1)
-            self.job.steals_accepted += 1
-        else:
-            self.job.steals_rejected += 1
+        self.job.note_steal_decision(accept)
         if self._trace_on:
             self.track.instant(
                 "steal.accept" if accept else "steal.reject",
@@ -780,6 +785,7 @@ class ComputationEngine:
         track.begin("merge_wait", cat="merge_wait")
         yield state.accum_group.wait()
         self.metrics.add("merge_wait", self.sim.now - t0)
+        self.job.note_steal_wait(self.job.current_stats, self.sim.now - t0)
         track.end()
 
         vertices = self.layout.vertex_count(partition)
@@ -930,7 +936,12 @@ class ComputationEngine:
         for partition in self.my_partitions:
             yield from self._work_on_partition(partition, kind, master=True)
         if self.config.stealing_enabled and self.config.machines > 1:
+            # The wrapper span lets the attribution analyzer charge
+            # proposal round-trip waits to steal overhead; work on an
+            # accepted partition opens its own (inner) spans.
+            self.track.begin("steal_pass")
             yield from self._steal_pass(kind)
+            self.track.end()
         if kind is ChunkKind.EDGES:
             self._flush_all_buffers()
         # All in-flight chunk writes must land before the barrier.
@@ -1000,11 +1011,13 @@ class ComputationEngine:
         self.metrics.add("copy", self.sim.now - t0)
         self.track.end()
 
-    def _enter_barrier(self):
+    def _enter_barrier(self, stats=None):
         t0 = self.sim.now
         self.track.begin("barrier", cat="barrier")
         yield self.barrier.wait(party=self.machine)
         self.metrics.add("barrier", self.sim.now - t0)
+        if stats is not None:
+            self.job.note_barrier_wait(stats, self.sim.now - t0)
         self.track.end()
 
     def _preprocess(self):
@@ -1055,22 +1068,34 @@ class ComputationEngine:
 
         while True:
             # -- scatter phase ------------------------------------------
+            # Capture the stats object up front: the first engine through
+            # ``decide_after_gather`` advances ``current_stats``, so late
+            # reporters must not charge the next iteration.
+            stats = self.job.current_stats
+            phase_start = self.sim.now
             if self._trace_on:
                 track.begin("scatter", args={"iteration": self.job.iteration})
             self.job.begin_scatter()
             yield from self._run_phase(ChunkKind.EDGES)
-            yield from self._enter_barrier()
+            yield from self._enter_barrier(stats)
             stop = self.job.decide_after_scatter(self.barrier.generation)
+            self.job.note_phase_seconds(
+                stats, "scatter", self.sim.now - phase_start
+            )
             if self._trace_on:
                 track.end()
             if stop:
                 break
             # -- gather phase (apply folded in) ---------------------------
+            phase_start = self.sim.now
             if self._trace_on:
                 track.begin("gather", args={"iteration": self.job.iteration})
             yield from self._run_phase(ChunkKind.UPDATES)
-            yield from self._enter_barrier()
+            yield from self._enter_barrier(stats)
             stop = self.job.decide_after_gather(self.barrier.generation)
+            self.job.note_phase_seconds(
+                stats, "gather", self.sim.now - phase_start
+            )
             if self._trace_on:
                 track.end()
             if stop:

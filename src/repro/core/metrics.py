@@ -67,15 +67,28 @@ class Breakdown:
 
 @dataclass
 class IterationStats:
-    """Counters for one scatter+gather iteration."""
+    """Counters for one scatter+gather iteration.
+
+    The wall-clock fields are cluster-wide: the phase durations are the
+    maximum over engines (phases end at a barrier, so the max is the
+    phase's wall time) while the wait fields are *summed* over engines —
+    the attribution analyzer (:mod:`repro.obs.critpath`) reads them as
+    aggregate idle time the cluster spent at barriers / waiting for
+    stolen accumulators during the iteration.
+    """
 
     iteration: int
     updates_produced: int = 0
     update_bytes: int = 0
     edges_streamed: int = 0
     vertices_changed: int = 0
+    #: Wall time of the phase, preprocessing excluded (max over engines).
     scatter_seconds: float = 0.0
     gather_seconds: float = 0.0
+    #: Engine-seconds idle at the phase barriers (summed over engines).
+    barrier_seconds: float = 0.0
+    #: Engine-seconds masters spent waiting for stealer accumulators.
+    steal_wait_seconds: float = 0.0
     steals_accepted: int = 0
     steals_rejected: int = 0
 
@@ -174,6 +187,12 @@ class JobResult:
                     "update_bytes": s.update_bytes,
                     "edges_streamed": s.edges_streamed,
                     "vertices_changed": s.vertices_changed,
+                    "scatter_seconds": s.scatter_seconds,
+                    "gather_seconds": s.gather_seconds,
+                    "barrier_seconds": s.barrier_seconds,
+                    "steal_wait_seconds": s.steal_wait_seconds,
+                    "steals_accepted": s.steals_accepted,
+                    "steals_rejected": s.steals_rejected,
                 }
                 for s in self.iteration_stats
             ],

@@ -399,6 +399,21 @@ class ChaosCluster:
             sim.process_hook = lambda process, phase: job_track.instant(
                 f"process.{phase}", args={"name": process.name}
             )
+            # Self-describing trace: the attribution analyzer
+            # (repro.obs.critpath) reads the cluster shape from this
+            # marker so saved traces can be analyzed without the config.
+            job_track.instant(
+                "job.config",
+                args={
+                    "machines": config.machines,
+                    "cores": config.cores,
+                    "chunk_bytes": config.chunk_bytes,
+                    "batch_factor": config.batch_factor,
+                    "steal_alpha": config.steal_alpha,
+                    "request_window": config.effective_request_window(),
+                    "algorithm": workload.algorithm.name,
+                },
+            )
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.bind_run(
@@ -549,6 +564,21 @@ class ChaosCluster:
             job_track = tracer.thread(config.machines, TID_JOB, "job")
             sim.process_hook = lambda process, phase: job_track.instant(
                 f"process.{phase}", args={"name": process.name}
+            )
+            # Self-describing trace: the attribution analyzer
+            # (repro.obs.critpath) reads the cluster shape from this
+            # marker so saved traces can be analyzed without the config.
+            job_track.instant(
+                "job.config",
+                args={
+                    "machines": config.machines,
+                    "cores": config.cores,
+                    "chunk_bytes": config.chunk_bytes,
+                    "batch_factor": config.batch_factor,
+                    "steal_alpha": config.steal_alpha,
+                    "request_window": config.effective_request_window(),
+                    "algorithm": workload.algorithm.name,
+                },
             )
         # One extra endpoint: the failure-detector monitor.
         network = Network(

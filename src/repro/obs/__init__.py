@@ -11,7 +11,14 @@ The subsystem has three layers:
   run);
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome/Perfetto
   ``trace_event`` JSON, flat CSV of every time series, and the terminal
-  summary behind ``repro trace-report``.
+  summary behind ``repro trace-report``;
+* :mod:`repro.obs.critpath` — the bottleneck-attribution analyzer: an
+  exact per-machine decomposition of wall clock into resource
+  categories, the Eq. 4 utilization check and the straggler detector;
+* :mod:`repro.obs.bench` — benchmark snapshots (``BENCH_<label>.json``)
+  and the snapshot-diff regression gate behind ``repro bench``.  Import
+  it as ``repro.obs.bench`` (not re-exported here: it pulls in the full
+  runtime, which would cycle back into this package at init time).
 
 Typical use::
 
@@ -25,6 +32,16 @@ Typical use::
 """
 
 from repro.obs.counters import CounterRegistry, ResourceSampler, TimeSeries
+from repro.obs.critpath import (
+    ATTRIBUTION_CATEGORIES,
+    AttributionError,
+    AttributionReport,
+    analyze_chrome_trace,
+    analyze_events,
+    analyze_tracer,
+    format_attribution_report,
+    format_iteration_table,
+)
 from repro.obs.export import (
     chrome_trace_dict,
     dumps_chrome_trace,
@@ -42,6 +59,7 @@ from repro.obs.report import (
 from repro.obs.tracer import (
     NULL_TRACER,
     NULL_TRACK,
+    TID_CPU,
     TID_DEVICE,
     TID_ENGINE,
     TID_JOB,
@@ -54,18 +72,27 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ATTRIBUTION_CATEGORIES",
+    "AttributionError",
+    "AttributionReport",
     "CounterRegistry",
     "NULL_TRACER",
     "NULL_TRACK",
     "NullTracer",
     "RECOVERY_CATEGORIES",
     "ResourceSampler",
+    "TID_CPU",
     "TID_DEVICE",
     "TID_ENGINE",
     "TID_JOB",
     "TID_NIC_RX",
     "TID_NIC_TX",
     "TimeSeries",
+    "analyze_chrome_trace",
+    "analyze_events",
+    "analyze_tracer",
+    "format_attribution_report",
+    "format_iteration_table",
     "TraceError",
     "TraceSummary",
     "Tracer",

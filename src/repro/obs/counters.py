@@ -52,6 +52,22 @@ class TimeSeries:
     def values(self) -> List[float]:
         return [value for _ts, value in self.samples]
 
+    def integral(self, start_ts: float = 0.0) -> float:
+        """Integrate a per-interval rate series over time.
+
+        Each sample ``(t_i, v_i)`` of a ``busy_fraction``/``rate`` probe
+        covers the interval ``(t_{i-1}, t_i]`` (``start_ts`` before the
+        first sample), so the integral ``Σ v_i · (t_i − t_{i-1})``
+        recovers the cumulative quantity the probe differentiated —
+        e.g. total busy seconds from a utilization timeline.
+        """
+        total = 0.0
+        previous = start_ts
+        for ts, value in self.samples:
+            total += value * (ts - previous)
+            previous = ts
+        return total
+
     def mean(self) -> float:
         if not self.samples:
             return 0.0
@@ -128,7 +144,16 @@ class ResourceSampler:
         self._probes.append(_Probe(name, pid, fn, mode))
 
     def start(self) -> None:
-        """Register the sampling loop as a simulation process."""
+        """Register the sampling loop as a simulation process.
+
+        Anchors the interval bookkeeping at the current simulated time:
+        every sample — including the final partial one the runtime takes
+        at the finish line — divides meter deltas by the *actual*
+        elapsed time, so a ``busy_fraction`` series integrates exactly
+        to the meter's total busy time (no end-of-run truncation, and
+        runs shorter than one interval still report correct fractions).
+        """
+        self._last_ts = self.sim.now
         self.sim.process(self._run(), name="obs.sampler")
 
     def _run(self):
@@ -139,9 +164,10 @@ class ResourceSampler:
     def sample(self) -> None:
         """Take one snapshot of every probe at the current simulated time."""
         now = self.sim.now
-        if self._last_ts is not None and now <= self._last_ts:
+        previous_ts = 0.0 if self._last_ts is None else self._last_ts
+        if now <= previous_ts:
             return  # no time has passed; avoid duplicate/zero-dt samples
-        elapsed = self.interval if self._last_ts is None else now - self._last_ts
+        elapsed = now - previous_ts
         for probe in self._probes:
             raw = probe.fn()
             if probe.mode == "value":

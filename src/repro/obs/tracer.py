@@ -42,6 +42,7 @@ TID_ENGINE = 1
 TID_DEVICE = 2
 TID_NIC_TX = 3
 TID_NIC_RX = 4
+TID_CPU = 5
 
 #: Human names for the fixed per-machine threads.
 THREAD_NAMES = {
@@ -50,6 +51,7 @@ THREAD_NAMES = {
     TID_DEVICE: "device",
     TID_NIC_TX: "nic.tx",
     TID_NIC_RX: "nic.rx",
+    TID_CPU: "cpu",
 }
 
 

@@ -172,7 +172,8 @@ class CoreBank:
     Each ``execute(duration)`` request runs on the earliest-free core.
     """
 
-    __slots__ = ("sim", "name", "cores", "_free_at", "meter")
+    __slots__ = ("sim", "name", "cores", "_free_at", "meter",
+                 "_trace_track", "_trace_label")
 
     def __init__(self, sim: Simulator, cores: int, name: str = ""):
         if cores < 1:
@@ -183,6 +184,20 @@ class CoreBank:
         self._free_at: List[float] = [0.0] * self.cores
         heapq.heapify(self._free_at)
         self.meter = UtilizationMeter()
+        self._trace_track = None
+        self._trace_label = name or "exec"
+
+    def enable_trace(self, track, label: str = "") -> None:
+        """Record every job's core occupancy as a span on ``track``.
+
+        Unlike a :class:`FifoServer`, spans from different cores of the
+        bank overlap on the one track; consumers that want a busy
+        *timeline* (e.g. the attribution analyzer) take the union of the
+        intervals, while summing durations gives busy core-seconds.
+        """
+        self._trace_track = track
+        if label:
+            self._trace_label = label
 
     def execute(self, duration: float, value: Any = None) -> Event:
         """Run a job of ``duration`` CPU-seconds on the earliest-free core."""
@@ -193,6 +208,9 @@ class CoreBank:
         finish = start + duration
         heapq.heappush(self._free_at, finish)
         self.meter.record(duration, 0)
+        track = self._trace_track
+        if track is not None and duration > 0:
+            track.complete(self._trace_label, start, duration)
         event = Event(self.sim, name=f"{self.name}.execute")
         self.sim.schedule_at(finish, event.trigger, value)
         return event

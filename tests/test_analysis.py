@@ -214,7 +214,7 @@ class TestNondetOrder:
 
     def test_flags_direct_set_iteration(self):
         result = lint(
-            "def f():\n    for x in {3, 1, 2}:\n        print(x)\n"
+            "def f():\n    for x in {3, 1, 2}:\n        consume(x)\n"
         )
         assert rule_ids(result) == ["CHX005"]
 
@@ -227,7 +227,7 @@ class TestNondetOrder:
             "def f(xs):\n"
             "    pending = set(xs)\n"
             "    for x in pending:\n"
-            "        print(x)\n"
+            "        consume(x)\n"
         )
         result = lint(source)
         assert rule_ids(result) == ["CHX005"]
@@ -237,7 +237,7 @@ class TestNondetOrder:
             "def f(xs):\n"
             "    pending = set(xs)\n"
             "    for x in sorted(pending):\n"
-            "        print(x)\n"
+            "        consume(x)\n"
         )
         result = lint(source)
         assert result.clean
@@ -337,6 +337,64 @@ class TestBroadExcept:
 
 
 # ---------------------------------------------------------------------------
+# CHX007: ad-hoc telemetry in engine packages
+
+
+class TestAdHocTelemetry:
+    def test_flags_print_in_engine_package(self):
+        result = lint("print('scatter done')\n", path=COMPUTE_PATH)
+        assert rule_ids(result) == ["CHX007"]
+        assert "Tracer" in result.findings[0].message
+
+    def test_flags_logging_import(self):
+        result = lint("import logging\n")
+        assert rule_ids(result) == ["CHX007"]
+
+    def test_flags_from_logging_import(self):
+        result = lint("from logging import getLogger\n")
+        assert rule_ids(result) == ["CHX007"]
+
+    def test_flags_logging_calls(self):
+        result = lint(
+            "import logging\nlogging.info('iteration %d', i)\n"
+        )
+        assert rule_ids(result) == ["CHX007", "CHX007"]
+
+    def test_flags_stderr_write(self):
+        result = lint("import sys\nsys.stderr.write('oops')\n")
+        assert rule_ids(result) == ["CHX007"]
+
+    def test_flags_stdout_write_in_obs(self):
+        result = lint(
+            "import sys\nsys.stdout.write('x')\n",
+            path="src/repro/obs/fixture.py",
+        )
+        assert rule_ids(result) == ["CHX007"]
+
+    def test_ignores_cli_and_benchmark_layers(self):
+        # The CLI and graph/analysis layers own the terminal; only the
+        # simulated-clock engine packages must stay silent.
+        assert lint("print('ok')\n", path="src/repro/cli.py").clean
+        assert lint("print('ok')\n", path=OUTSIDE_PATH).clean
+
+    def test_ignores_tracer_and_counter_use(self):
+        source = (
+            "def f(track, registry, sim):\n"
+            "    track.instant('phase.done')\n"
+            "    registry.add('m0.bytes', sim.now, 42.0)\n"
+        )
+        assert lint(source, path=COMPUTE_PATH).clean
+
+    def test_suppression_names_the_rule(self):
+        result = lint(
+            "print('x')  # chaos: ignore[CHX007] debug aid\n",
+            path=COMPUTE_PATH,
+        )
+        assert result.clean
+        assert result.suppressed[0].rule_id == "CHX007"
+
+
+# ---------------------------------------------------------------------------
 # Engine mechanics: suppression, syntax errors, path walking
 
 
@@ -394,6 +452,7 @@ class TestEngine:
     def test_rule_table_covers_all_rules(self):
         assert sorted(RULE_TABLE) == [
             "CHX001", "CHX002", "CHX003", "CHX004", "CHX005", "CHX006",
+            "CHX007",
         ]
 
 

@@ -133,6 +133,46 @@ class TestCounters:
         assert series.samples[0] == (1.0, pytest.approx(0.5))
         assert series.samples[1] == (2.0, pytest.approx(0.0))
 
+    def test_final_partial_sample_has_correct_fraction(self):
+        # A run shorter than one sampling interval only ever sees the
+        # finish-line sample the runtime takes; the fraction must use
+        # the *actual* elapsed time, not the nominal interval.
+        sim = Simulator()
+        tracer = Tracer(sample_interval=10.0)
+        tracer.bind_run(lambda: sim.now)
+        busy = {"t": 0.0}
+        sampler = ResourceSampler(sim, tracer, interval=10.0)
+        sampler.add_probe("dev.busy", 0, lambda: busy["t"],
+                          mode="busy_fraction")
+        sampler.start()
+
+        def load():
+            yield sim.timeout(2.5)
+            busy["t"] = 0.5
+
+        done = sim.process(load()).finished
+        sim.run_until(done)
+        sampler.sample()  # what the runtime does at the finish line
+        series = tracer.registry.get("dev.busy")
+        assert series.samples == [(2.5, pytest.approx(0.5 / 2.5))]
+        assert series.integral() == pytest.approx(0.5)
+
+    def test_busy_series_integrates_to_span_total(self):
+        # Regression: the sampler used to truncate the tail past the
+        # last whole interval, so the busy-fraction series integrated
+        # short of the device's true busy time.
+        tracer, _result = _traced_run(sample_interval=1e-4, machines=2)
+        for machine in range(2):
+            span_busy = sum(
+                e["dur"]
+                for e in tracer.events
+                if e["ph"] == "X"
+                and e["pid"] == machine
+                and e["tid"] == TID_DEVICE
+            )
+            series = tracer.registry.get(f"m{machine}.device.busy")
+            assert series.integral() == pytest.approx(span_busy, rel=1e-12)
+
 
 class TestTracedRun:
     def test_trace_is_deterministic(self):

@@ -517,6 +517,20 @@ def _command_bench(args) -> int:
         return 0
 
     if args.compare:
+        run_only = [
+            flag
+            for flag, given in (
+                ("--scenario", bool(args.scenario)),
+                ("--label", args.label != "local"),
+                ("--out", bool(args.out)),
+            )
+            if given
+        ]
+        if run_only:
+            raise SystemExit(
+                f"bench: {', '.join(run_only)} only applies when running "
+                "scenarios and would be ignored with --compare"
+            )
         tolerances = _parse_tolerances(args.tolerance)
         try:
             base = bench.load_snapshot(args.compare[0])
@@ -534,6 +548,10 @@ def _command_bench(args) -> int:
         )
         return 0 if comparison.ok else 1
 
+    if args.tolerance:
+        raise SystemExit(
+            "bench: --tolerance only applies with --compare"
+        )
     try:
         snapshot = bench.run_scenarios(
             args.scenario, label=args.label, progress=print

@@ -191,9 +191,15 @@ class _Segment:
 
 
 def _replay_engine(
-    events: List[dict], duration: float
+    events: List[dict],
+    duration: float,
+    recovery: List[Tuple[float, float]] = (),
 ) -> Tuple[List[_Segment], Dict[Tuple[str, str], float]]:
     """Replay one engine track's B/E events into state segments.
+
+    ``recovery`` is the sorted list of rollback windows: every engine of
+    the pre-fault epoch is killed during a window, so spans still open
+    when a window closes will never see their E event.
 
     Returns the segments covering ``[0, duration]`` and the maximum
     ``vertex_load`` span duration per (iteration label, phase) — the V
@@ -201,11 +207,25 @@ def _replay_engine(
     """
     segments: List[_Segment] = []
     vertex_load_max: Dict[Tuple[str, str], float] = {}
-    # Stack entries: (name, cat, args, push_ts).  Spans opened by an
-    # engine killed mid-epoch never see their E event; the restarted
-    # engine's spans stack above the stale entries, and pops (LIFO)
-    # still match the live pushes.
-    stack: List[Tuple[str, Optional[str], dict, float]] = []
+    # B events whose E never arrives: spans held open by an engine that
+    # was killed (or still open at trace end).  LIFO matching is exact
+    # because killed epochs only ever *leak* opens — they never emit an
+    # unmatched E.
+    match_stack: List[int] = []
+    for index, event in enumerate(events):
+        if event["ph"] == "B":
+            match_stack.append(index)
+        elif event["ph"] == "E" and match_stack:
+            match_stack.pop()
+    unclosed = frozenset(match_stack)
+    # Stack entries: (name, cat, args, push_ts, event_index).  The
+    # restarted epoch's spans stack above the dead epoch's unclosed
+    # entries, so pops (LIFO) still match the live pushes; the stale
+    # entries themselves are truncated when their rollback window
+    # closes (below) so they can never leak into post-restart state
+    # classification.
+    stack: List[Tuple[str, Optional[str], dict, float, int]] = []
+    rec_index = 0
     prev = 0.0
     last_label = "preprocess"
     last_phase = "preprocess"
@@ -213,7 +233,7 @@ def _replay_engine(
     def current_state() -> Tuple[str, str, str, bool]:
         label = None
         phase = None
-        for name, _cat, args, _ts in reversed(stack):
+        for name, _cat, args, _ts, _idx in reversed(stack):
             if name in ("scatter", "gather"):
                 label = str(args.get("iteration", "?"))
                 phase = name
@@ -221,7 +241,7 @@ def _replay_engine(
         state = "demand"
         streaming = bool(stack) and stack[-1][0] == "stream"
         if stack:
-            name, _cat, args, _ts = stack[-1]
+            name, _cat, args, _ts, _idx = stack[-1]
             if name in _BARRIER_SPANS:
                 state = "barrier"
             elif name in _STEAL_SPANS:
@@ -229,7 +249,7 @@ def _replay_engine(
             elif name in _CPU_SPANS:
                 state = "cpu"
             elif name == "vertex_load":
-                for pname, _pc, pargs, _pt in reversed(stack[:-1]):
+                for pname, _pc, pargs, _pt, _pi in reversed(stack[:-1]):
                     if pname.startswith("partition"):
                         if pargs.get("role") == "stealer":
                             state = "steal"
@@ -245,27 +265,53 @@ def _replay_engine(
             )
             prev = until
 
-    for event in events:
+    def close_windows(until: float) -> None:
+        # A span still open when a rollback window closes and whose E
+        # event never arrives was held by a killed engine: flush the
+        # pre-window segment, then drop the stale entries so
+        # post-restart time is never classified by a dead epoch's
+        # innermost span.  (Spans that do close later — an engine that
+        # survived the window — are kept.)
+        nonlocal rec_index
+        while rec_index < len(recovery) and recovery[rec_index][1] <= until:
+            window_end = recovery[rec_index][1]
+            emit(window_end)
+            stack[:] = [
+                entry
+                for entry in stack
+                if entry[4] not in unclosed or entry[3] >= window_end
+            ]
+            rec_index += 1
+
+    for index, event in enumerate(events):
         ph = event["ph"]
         if ph not in ("B", "E"):
             continue
         ts = event["ts"]
+        close_windows(ts)
         emit(ts)
         if ph == "B":
             stack.append(
-                (event["name"], event.get("cat"), event.get("args") or {}, ts)
+                (
+                    event["name"],
+                    event.get("cat"),
+                    event.get("args") or {},
+                    ts,
+                    index,
+                )
             )
             if event["name"] in ("scatter", "gather"):
                 last_label = str(event.get("args", {}).get("iteration", "?"))
                 last_phase = event["name"]
         elif stack:
-            name, _cat, _args, t0 = stack.pop()
+            name, _cat, _args, t0, _idx = stack.pop()
             if name == "vertex_load":
                 _state, label, phase, _streaming = current_state()
                 key = (label, phase)
                 span = ts - t0
                 if span > vertex_load_max.get(key, 0.0):
                     vertex_load_max[key] = span
+    close_windows(duration)
     emit(duration)
     return segments, vertex_load_max
 
@@ -508,7 +554,7 @@ def analyze_events(
 
     for machine in range(machines):
         engine_events = by_track.get((machine, TID_ENGINE), [])
-        segments, vl_max = _replay_engine(engine_events, duration)
+        segments, vl_max = _replay_engine(engine_events, duration, recovery)
         for key, value in vl_max.items():
             if value > vertex_load_max.get(key, 0.0):
                 vertex_load_max[key] = value

@@ -144,6 +144,44 @@ class TestCraftedTraces:
         assert machine["barrier"] == pytest.approx(3.0)  # 6 - overlap
         assert report.closure_error() <= CLOSURE_TOL
 
+    def test_killed_engine_spans_do_not_leak_past_restart(self):
+        # An engine killed at t=2 leaves its scatter/barrier spans open
+        # forever; the restarted epoch's balanced spans stack above
+        # them.  Once the rollback window closes, the stale entries
+        # must not classify post-restart time — idle time after the
+        # restarted spans pop off is demand of the *new* iteration,
+        # not barrier time of the dead epoch.
+        events = [
+            _engine("B", 0.0, "scatter", args={"iteration": 0}),
+            _engine("B", 1.0, "barrier", cat="barrier"),
+            # killed at 2.0: no E events for the spans above.
+            {
+                "ph": "X",
+                "ts": 2.0,
+                "dur": 3.0,
+                "pid": 1,
+                "tid": TID_JOB,
+                "name": "lost",
+                "cat": "lost",
+            },
+            # Restarted epoch resumes at the window end.
+            _engine("B", 5.0, "scatter", args={"iteration": 1}),
+            _engine("E", 7.0, "scatter"),
+            # [7, 10): nothing on the (live) stack.
+        ]
+        report = analyze_events(events, duration=10.0)
+        machine = report.per_machine[0].seconds
+        assert machine["recovery"] == pytest.approx(3.0)
+        # Only [1, 2) is barrier — [7, 10) must not inherit the dead
+        # epoch's open barrier span.
+        assert machine["barrier"] == pytest.approx(1.0)
+        assert machine["net_wait"] == pytest.approx(6.0)
+        # Post-restart idle is charged to the restarted iteration.
+        per_iter = {it.label: it.total() for it in report.per_iteration}
+        assert per_iter["0"] == pytest.approx(5.0)
+        assert per_iter["1"] == pytest.approx(5.0)
+        assert report.closure_error() <= CLOSURE_TOL
+
     def test_per_iteration_buckets(self):
         events = [
             _engine("B", 0.0, "scatter", args={"iteration": 0}),

@@ -1,0 +1,274 @@
+"""Per-function control-flow graphs at statement granularity.
+
+Built once per function from the AST, the CFG answers the path-shape
+questions the protocol rules ask:
+
+* which statements can actually be reached (a branch ending in
+  ``return``/``raise`` terminates its path),
+* whether a statement list *definitely terminates* (every path leaves
+  the function or the loop) — used by CHX010 to exempt early-exit
+  branches from barrier pairing,
+* which statements sit inside a ``try`` protected by a ``finally``
+  — used by CHX009 to accept grant releases on exception paths.
+
+Exception edges are over-approximated: any statement of a ``try`` body
+may jump to each handler and to the ``finally`` suite.  Loops get the
+usual back edge plus an exit edge from the header (``while True`` with
+no ``break`` gets none, making code after it unreachable).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+
+@dataclass
+class Block:
+    """A straight-line run of statements with no internal branching."""
+
+    id: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: Set[int] = field(default_factory=set)
+    #: "return" | "raise" | "break" | "continue" | None
+    terminal: Optional[str] = None
+
+    @property
+    def first_line(self) -> Optional[int]:
+        return self.statements[0].lineno if self.statements else None
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry: int = 0
+        self.exit: int = 1  # virtual exit block (function return)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, func: ast.AST) -> "CFG":
+        cfg = cls()
+        entry = cfg._new_block()
+        cfg.entry = entry.id
+        exit_block = cfg._new_block()
+        cfg.exit = exit_block.id
+        last = cfg._build_body(getattr(func, "body", []), entry, None, None)
+        if last is not None:
+            last.successors.add(cfg.exit)
+        return cfg
+
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block
+
+    def _build_body(
+        self,
+        statements: Sequence[ast.stmt],
+        current: Block,
+        break_target: Optional[int],
+        continue_target: Optional[int],
+    ) -> Optional[Block]:
+        """Thread ``statements`` starting in ``current``.
+
+        Returns the open block at the end of the list, or None when every
+        path has terminated (return/raise/break/continue).
+        """
+        for stmt in statements:
+            if current is None:
+                # Dead code after a terminator: give it its own
+                # unreachable block so lines still exist in the graph.
+                current = self._new_block()
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                current.statements.append(stmt)
+                current.terminal = "return" if isinstance(stmt, ast.Return) else "raise"
+                current.successors.add(self.exit)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.statements.append(stmt)
+                current.terminal = "break"
+                if break_target is not None:
+                    current.successors.add(break_target)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.statements.append(stmt)
+                current.terminal = "continue"
+                if continue_target is not None:
+                    current.successors.add(continue_target)
+                current = None
+            elif isinstance(stmt, ast.If):
+                current.statements.append(stmt)
+                join = self._new_block()
+                then_block = self._new_block()
+                current.successors.add(then_block.id)
+                then_end = self._build_body(
+                    stmt.body, then_block, break_target, continue_target
+                )
+                if then_end is not None:
+                    then_end.successors.add(join.id)
+                if stmt.orelse:
+                    else_block = self._new_block()
+                    current.successors.add(else_block.id)
+                    else_end = self._build_body(
+                        stmt.orelse, else_block, break_target, continue_target
+                    )
+                    if else_end is not None:
+                        else_end.successors.add(join.id)
+                else:
+                    current.successors.add(join.id)
+                current = join
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                current.statements.append(stmt)
+                header = self._new_block()
+                current.successors.add(header.id)
+                after = self._new_block()
+                body_block = self._new_block()
+                header.successors.add(body_block.id)
+                infinite = (
+                    isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value)
+                )
+                if not infinite:
+                    header.successors.add(after.id)
+                body_end = self._build_body(
+                    stmt.body, body_block, after.id, header.id
+                )
+                if body_end is not None:
+                    body_end.successors.add(header.id)
+                if stmt.orelse:
+                    else_end = self._build_body(
+                        stmt.orelse, header, break_target, continue_target
+                    )
+                    if else_end is not None:
+                        else_end.successors.add(after.id)
+                # break statements already point at ``after``.
+                if infinite and not self._has_edge_into(after.id):
+                    current = None  # while True with no break: no exit
+                else:
+                    current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.statements.append(stmt)
+                inner = self._new_block()
+                current.successors.add(inner.id)
+                current = self._build_body(
+                    stmt.body, inner, break_target, continue_target
+                )
+            elif isinstance(stmt, ast.Try):
+                current.statements.append(stmt)
+                body_block = self._new_block()
+                current.successors.add(body_block.id)
+                after = self._new_block()
+                body_end = self._build_body(
+                    stmt.body, body_block, break_target, continue_target
+                )
+                handler_ends: List[Optional[Block]] = []
+                for handler in stmt.handlers:
+                    handler_block = self._new_block()
+                    # Any statement in the body may raise into the handler.
+                    body_block.successors.add(handler_block.id)
+                    handler_ends.append(
+                        self._build_body(
+                            handler.body, handler_block, break_target, continue_target
+                        )
+                    )
+                else_end = body_end
+                if stmt.orelse and body_end is not None:
+                    else_block = self._new_block()
+                    body_end.successors.add(else_block.id)
+                    else_end = self._build_body(
+                        stmt.orelse, else_block, break_target, continue_target
+                    )
+                tails = [else_end] + handler_ends
+                open_tails = [t for t in tails if t is not None]
+                if stmt.finalbody:
+                    final_block = self._new_block()
+                    for tail in open_tails:
+                        tail.successors.add(final_block.id)
+                    # Exceptional entry into finally as well.
+                    body_block.successors.add(final_block.id)
+                    current = self._build_body(
+                        stmt.finalbody, final_block, break_target, continue_target
+                    )
+                    if current is not None and open_tails:
+                        current.successors.add(after.id)
+                        current = after
+                    elif current is not None:
+                        # Every guarded path terminated; finally falls
+                        # through only on the exceptional path (re-raise).
+                        current.successors.add(self.exit)
+                        current = None
+                else:
+                    for tail in open_tails:
+                        tail.successors.add(after.id)
+                    current = after if open_tails else None
+            else:
+                current.statements.append(stmt)
+        return current
+
+    def _has_edge_into(self, block_id: int) -> bool:
+        return any(
+            block_id in block.successors for block in self.blocks.values()
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def reachable_blocks(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.blocks[current].successors)
+        return seen
+
+    def statements_in_order(self) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for block_id in sorted(self.blocks):
+            out.extend(self.blocks[block_id].statements)
+        return out
+
+
+def definitely_terminates(statements: Sequence[ast.stmt]) -> bool:
+    """True when every path through ``statements`` leaves the enclosing
+    function or loop (return/raise/break/continue), so code after the
+    list is unreachable on this branch."""
+    for stmt in statements:
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.If) and stmt.orelse:
+            if definitely_terminates(stmt.body) and definitely_terminates(
+                stmt.orelse
+            ):
+                return True
+        if isinstance(stmt, ast.Try):
+            tails = [stmt.body + stmt.orelse] + [h.body for h in stmt.handlers]
+            if stmt.finalbody and definitely_terminates(stmt.finalbody):
+                return True
+            if all(definitely_terminates(t) for t in tails):
+                return True
+    return False
+
+
+def yield_lines(func: ast.AST) -> List[int]:
+    """Lines holding a yield/yield-from in the function's own scope."""
+    lines: List[int] = []
+    stack = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            lines.append(node.lineno)
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return sorted(lines)
+
+
+__all__ = ["Block", "CFG", "definitely_terminates", "yield_lines"]

@@ -1,0 +1,796 @@
+"""Interprocedural rules CHX008-CHX012 over the flow layer.
+
+Unlike the local rules (which see one AST at a time), a deep rule sees
+the whole project: the :class:`DeepContext` bundles the project index,
+the call graph and the taint analysis.  Each rule's ``run`` returns
+plain :class:`~repro.analysis.findings.Finding` objects; the deep
+engine applies inline suppressions afterwards, exactly like the local
+engine does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import CallGraph, CallSite
+from repro.analysis.flow.cfg import definitely_terminates
+from repro.analysis.flow.dataflow import TaintAnalysis
+from repro.analysis.flow.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    attr_chain,
+    parse_constant_int,
+)
+from repro.analysis.lint import SIM_PACKAGES
+
+#: Sim packages plus the analysis package itself (the sanitizer's own
+#: state is simulated-run state).
+DEEP_SIM_PACKAGES: FrozenSet[str] = SIM_PACKAGES | frozenset({"analysis"})
+
+
+class DeepContext:
+    """Everything a deep rule needs, built once per ``check --deep``."""
+
+    def __init__(self, index: ProjectIndex, graph: Optional[CallGraph] = None):
+        self.index = index
+        self.graph = graph if graph is not None else CallGraph.build(index)
+        self.taint = TaintAnalysis(self.index, self.graph, DEEP_SIM_PACKAGES)
+
+    def module_is_sim(self, module_name: str) -> bool:
+        return any(part in SIM_PACKAGES for part in module_name.split("."))
+
+
+class DeepRule:
+    """Base for whole-program rules."""
+
+    rule_id: str = "CHX0xx"
+    severity: str = "error"
+    title: str = ""
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        return iter(())
+
+    def _finding(self, file: str, line: int, message: str) -> Finding:
+        return Finding(
+            file=file,
+            line=line,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# CHX008: host-nondeterminism taint reaching simulated state
+# ---------------------------------------------------------------------------
+
+
+class InterproceduralTaintRule(DeepRule):
+    """Wall-clock / host-RNG / host-id values flowing, through any call
+    chain, into a sim-package call or sim-class attribute.
+
+    Closes the CHX001/CHX002 laundering hole: those rules see only the
+    source *expression* inside a sim package; a helper in ``graph/`` or
+    ``perf/`` that returns ``time.time()`` and hands it to
+    ``Simulator``-side code slipped through.
+    """
+
+    rule_id = "CHX008"
+    severity = "error"
+    title = "host-nondeterministic value flows into simulated state"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for report in ctx.taint.run():
+            yield self._finding(report.file, report.line, report.message())
+
+
+# ---------------------------------------------------------------------------
+# CHX009: acquire/release pairing across yields
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _GrantSummary:
+    """Net grant effect of one function (over all paths, may-analysis)."""
+
+    acquired: Set[str] = field(default_factory=set)  # held at some exit
+    released: Set[str] = field(default_factory=set)
+
+
+class GrantPairingRule(DeepRule):
+    """Simulated resource grants (``X.acquire()``) must be released on
+    every path, and a grant held across a ``yield`` must be protected by
+    a ``try/finally`` that releases it — an :class:`Interrupt` thrown at
+    the yield otherwise leaks the grant forever (the simulated semaphore
+    has no timeout).
+
+    Interprocedural: a helper that acquires without releasing
+    contributes its net grants to the caller; a helper that releases
+    clears them (the split-pair pattern ``_get_slot``/``_put_slot``).
+    """
+
+    rule_id = "CHX009"
+    severity = "error"
+    title = "resource grant not released on every path"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        summaries = self._summarize(ctx)
+        for func in ctx.index.iter_functions():
+            if not func.is_generator:
+                continue
+            yield from self._check_function(ctx, func, summaries)
+
+    # -- summaries ------------------------------------------------------
+
+    def _summarize(self, ctx: DeepContext) -> Dict[str, _GrantSummary]:
+        summaries: Dict[str, _GrantSummary] = {}
+        for _ in range(3):  # transitive helpers; project chains are shallow
+            changed = False
+            for func in ctx.index.iter_functions():
+                walker = _GrantWalker(ctx, func, summaries, report=False)
+                walker.walk()
+                new = _GrantSummary(
+                    acquired=set(walker.held), released=set(walker.released)
+                )
+                old = summaries.get(func.qualname)
+                if old is None or old.acquired != new.acquired or (
+                    old.released != new.released
+                ):
+                    summaries[func.qualname] = new
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _check_function(
+        self,
+        ctx: DeepContext,
+        func: FunctionInfo,
+        summaries: Dict[str, _GrantSummary],
+    ) -> Iterator[Finding]:
+        walker = _GrantWalker(ctx, func, summaries, report=True)
+        walker.walk()
+        for key, line in sorted(walker.held.items()):
+            yield self._finding(
+                func.file,
+                line,
+                f"grant '{key}.acquire()' (in {func.name}) may not be "
+                f"released on every path to function exit",
+            )
+        for key, acquire_line, yield_line in sorted(walker.unprotected_yields):
+            yield self._finding(
+                func.file,
+                yield_line,
+                f"grant '{key}' (acquired at line {acquire_line}) is held "
+                f"across this yield without a finally release; an Interrupt "
+                f"here leaks the grant",
+            )
+
+
+class _GrantWalker:
+    """Tracks may-held grants through one function body.
+
+    Grant lifecycle in the simulated runtime: ``X.acquire()`` returns an
+    *event*; the grant is held only once that event is yielded (the
+    scheduler resumes the process when the semaphore admits it).  So
+
+    * ``yield X.acquire()`` — held *after* this statement,
+    * ``evt = X.acquire()`` — *pending* until ``yield evt``,
+    * ``X.release()`` — drops the grant,
+    * ``return evt`` of a pending event — ownership transfers to the
+      caller (tracked through the caller's view of this function's
+      summary instead).
+    """
+
+    def __init__(
+        self,
+        ctx: DeepContext,
+        func: FunctionInfo,
+        summaries: Dict[str, _GrantSummary],
+        report: bool,
+    ):
+        self.ctx = ctx
+        self.func = func
+        self.summaries = summaries
+        self.report = report
+        self.held: Dict[str, int] = {}  # grant key -> acquire line
+        self.pending: Dict[str, Tuple[str, int]] = {}  # var -> (key, line)
+        self.released: Set[str] = set()
+        #: (key, acquire_line, yield_line) triples to report.
+        self.unprotected_yields: Set[Tuple[str, int, int]] = set()
+        self._site_of = {
+            id(site.node): site
+            for site in ctx.graph.call_sites_in(func.qualname)
+        }
+
+    def walk(self) -> None:
+        self._walk_stmts(self.func.node.body, protected=frozenset())
+        # Pending events never yielded nor released still reserved a
+        # queue slot; count them as leaked too.
+        for key, line in self.pending.values():
+            self.held.setdefault(key, line)
+
+    # -- statement walk -------------------------------------------------
+
+    def _walk_stmts(self, stmts: Sequence[ast.stmt], protected: FrozenSet[str]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, protected)
+
+    def _walk_stmt(self, stmt: ast.stmt, protected: FrozenSet[str]) -> None:
+        if isinstance(stmt, ast.If):
+            before_held = dict(self.held)
+            before_pending = dict(self.pending)
+            self._walk_stmts(stmt.body, protected)
+            then_held, then_pending = self.held, self.pending
+            self.held, self.pending = dict(before_held), dict(before_pending)
+            self._walk_stmts(stmt.orelse, protected)
+            # May-held union; a branch that terminates doesn't leak into
+            # the join (its paths never reach function end from here).
+            then_out = {} if definitely_terminates(stmt.body) else then_held
+            else_out = (
+                {} if stmt.orelse and definitely_terminates(stmt.orelse) else self.held
+            )
+            merged = dict(else_out)
+            for key, line in then_out.items():
+                merged.setdefault(key, line)
+            self.held = merged
+            merged_pending = dict(self.pending)
+            for var, value in then_pending.items():
+                merged_pending.setdefault(var, value)
+            self.pending = merged_pending
+        elif isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+            self._scan_effects(stmt, protected, header_only=True)
+            before = dict(self.held)
+            self._walk_stmts(stmt.body, protected)
+            self._walk_stmts(stmt.orelse, protected)
+            for key, line in before.items():
+                self.held.setdefault(key, line)
+        elif isinstance(stmt, ast.Try):
+            released_in_finally = self._releases_in(stmt.finalbody)
+            self._walk_stmts(stmt.body, protected | released_in_finally)
+            for handler in stmt.handlers:
+                self._walk_stmts(handler.body, protected | released_in_finally)
+            self._walk_stmts(stmt.orelse, protected | released_in_finally)
+            self._walk_stmts(stmt.finalbody, protected)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._scan_effects(stmt, protected, header_only=True)
+            self._walk_stmts(stmt.body, protected)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # separate scope
+        elif isinstance(stmt, ast.Return):
+            if isinstance(stmt.value, ast.Name):
+                # Returning a pending acquire event transfers ownership.
+                self.pending.pop(stmt.value.id, None)
+            self._scan_effects(stmt, protected)
+        else:
+            self._scan_effects(stmt, protected)
+
+    def _scan_effects(
+        self,
+        stmt: ast.stmt,
+        protected: FrozenSet[str],
+        header_only: bool = False,
+    ) -> None:
+        """Acquire/release/yield effects of one simple statement (or of
+        a compound statement's header expressions only)."""
+        nodes: List[ast.AST] = []
+        if header_only:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    nodes.append(child)
+        else:
+            nodes.append(stmt)
+        calls: List[ast.Call] = []
+        yields: List[ast.AST] = []
+        for root in nodes:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yields.append(node)
+                stack.extend(ast.iter_child_nodes(node))
+
+        #: grants that become held only after this statement completes.
+        deferred: Dict[str, int] = {}
+        for call in sorted(calls, key=lambda c: (c.lineno, c.col_offset)):
+            self._apply_call(call, stmt, deferred)
+        # Yielding a pending acquire event converts it to held — after
+        # this statement, so the acquiring yield itself never flags.
+        for node in yields:
+            value = getattr(node, "value", None)
+            if isinstance(value, ast.Name) and value.id in self.pending:
+                key, line = self.pending.pop(value.id)
+                deferred.setdefault(key, line)
+        for node in yields:
+            for key, acquire_line in list(self.held.items()):
+                if key not in protected:
+                    self.unprotected_yields.add((key, acquire_line, node.lineno))
+        for key, line in deferred.items():
+            self.held.setdefault(key, line)
+
+    def _apply_call(
+        self, call: ast.Call, stmt: ast.stmt, deferred: Dict[str, int]
+    ) -> None:
+        chain = attr_chain(call.func)
+        if chain is not None and len(chain) >= 2:
+            receiver = ".".join(chain[:-1])
+            if chain[-1] == "acquire":
+                bound = self._binding_of(call, stmt)
+                if bound is not None:
+                    self.pending[bound] = (receiver, call.lineno)
+                else:
+                    deferred.setdefault(receiver, call.lineno)
+                return
+            if chain[-1] == "release":
+                self.held.pop(receiver, None)
+                for var, (key, _line) in list(self.pending.items()):
+                    if key == receiver:
+                        del self.pending[var]
+                self.released.add(receiver)
+                return
+        site = self._site_of.get(id(call))
+        if site is not None and site.kind in ("direct", "self-method"):
+            for target in site.targets:
+                summary = self.summaries.get(target)
+                if summary is None:
+                    continue
+                for key in summary.released:
+                    self.held.pop(key, None)
+                    self.released.add(key)
+                for key in summary.acquired:
+                    deferred.setdefault(key, call.lineno)
+
+    @staticmethod
+    def _binding_of(call: ast.Call, stmt: ast.stmt) -> Optional[str]:
+        """The local name an acquire event is stored under, if the
+        statement is a plain ``name = X.acquire()`` binding."""
+        if isinstance(stmt, ast.Assign) and stmt.value is call:
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                return stmt.targets[0].id
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is call:
+            if isinstance(stmt.target, ast.Name):
+                return stmt.target.id
+        return None
+
+    def _releases_in(self, stmts: Sequence[ast.stmt]) -> FrozenSet[str]:
+        released: Set[str] = set()
+        for stmt in stmts:
+            stack: List[ast.AST] = [stmt]
+            while stack:
+                node = stack.pop()
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(node, ast.Call):
+                    chain = attr_chain(node.func)
+                    if chain is not None and len(chain) >= 2:
+                        if chain[-1] == "release":
+                            released.add(".".join(chain[:-1]))
+                    site = self._site_of.get(id(node))
+                    if site is not None and site.kind in ("direct", "self-method"):
+                        for target in site.targets:
+                            summary = self.summaries.get(target)
+                            if summary is not None:
+                                released.update(summary.released)
+                stack.extend(ast.iter_child_nodes(node))
+        return frozenset(released)
+
+
+# ---------------------------------------------------------------------------
+# CHX010: barrier pairing across branches
+# ---------------------------------------------------------------------------
+
+
+class BarrierPairingRule(DeepRule):
+    """Every code path through an engine function must reach the same
+    barrier sequence.  A branch that waits on a barrier the other branch
+    skips deadlocks the cluster (the barrier waits forever for the
+    skipping machine) — unless the skipping branch leaves the function
+    entirely.  Barrier reachability is transitive over the call graph.
+    """
+
+    rule_id = "CHX010"
+    severity = "error"
+    title = "code paths diverge in barrier sequence"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        self._ctx = ctx
+        self._memo: Dict[str, Tuple] = {}
+        for func in ctx.index.iter_functions():
+            if not ctx.module_is_sim(func.module):
+                continue
+            site_of = {
+                id(site.node): site
+                for site in ctx.graph.call_sites_in(func.qualname)
+            }
+            yield from self._check_stmts(func, func.node.body, site_of)
+
+    # -- signatures -----------------------------------------------------
+
+    def _sig_of_function(self, qualname: str, seen: FrozenSet[str]) -> Tuple:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        if qualname in seen:
+            return ()  # recursion: bound the signature
+        func = self._ctx.index.functions.get(qualname)
+        if func is None:
+            return ()
+        site_of = {
+            id(site.node): site
+            for site in self._ctx.graph.call_sites_in(qualname)
+        }
+        sig = self._sig_of_stmts(
+            func.node.body, site_of, seen | {qualname}
+        )
+        self._memo[qualname] = sig
+        return sig
+
+    def _sig_of_stmts(
+        self,
+        stmts: Sequence[ast.stmt],
+        site_of: Dict[int, CallSite],
+        seen: FrozenSet[str],
+    ) -> Tuple:
+        parts: List[object] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                then_sig = self._sig_of_stmts(stmt.body, site_of, seen)
+                else_sig = self._sig_of_stmts(stmt.orelse, site_of, seen)
+                if then_sig == else_sig:
+                    parts.extend(then_sig)
+                elif definitely_terminates(stmt.body):
+                    parts.extend(else_sig)
+                elif stmt.orelse and definitely_terminates(stmt.orelse):
+                    parts.extend(then_sig)
+                else:
+                    parts.append("?")  # divergence; reported at the If itself
+            elif isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+                body_sig = self._sig_of_stmts(
+                    stmt.body + stmt.orelse, site_of, seen
+                )
+                if body_sig:
+                    parts.append(("loop",) + body_sig)
+            elif isinstance(stmt, ast.Try):
+                parts.extend(self._sig_of_stmts(stmt.body, site_of, seen))
+                parts.extend(self._sig_of_stmts(stmt.finalbody, site_of, seen))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                parts.extend(self._sig_of_stmts(stmt.body, site_of, seen))
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            else:
+                parts.extend(self._sig_of_simple(stmt, site_of, seen))
+        return tuple(parts)
+
+    def _sig_of_simple(
+        self,
+        stmt: ast.stmt,
+        site_of: Dict[int, CallSite],
+        seen: FrozenSet[str],
+    ) -> Tuple:
+        parts: List[object] = []
+        stack: List[ast.AST] = [stmt]
+        calls: List[ast.Call] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        for call in sorted(calls, key=lambda c: (c.lineno, c.col_offset)):
+            if _is_barrier_wait(call):
+                parts.append("wait")
+                continue
+            site = site_of.get(id(call))
+            if site is not None and site.kind in ("direct", "self-method"):
+                for target in site.targets:
+                    parts.extend(self._sig_of_function(target, seen))
+        return tuple(parts)
+
+    # -- divergence reporting -------------------------------------------
+
+    def _check_stmts(
+        self,
+        func: FunctionInfo,
+        stmts: Sequence[ast.stmt],
+        site_of: Dict[int, CallSite],
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                then_sig = self._sig_of_stmts(stmt.body, site_of, frozenset())
+                else_sig = self._sig_of_stmts(stmt.orelse, site_of, frozenset())
+                if (
+                    then_sig != else_sig
+                    and (then_sig or else_sig)
+                    and not definitely_terminates(stmt.body)
+                    and not (stmt.orelse and definitely_terminates(stmt.orelse))
+                ):
+                    yield self._finding(
+                        func.file,
+                        stmt.lineno,
+                        f"branches of this if reach different barrier "
+                        f"sequences in {func.name}: "
+                        f"{_render_sig(then_sig)} vs {_render_sig(else_sig)}; "
+                        f"a machine taking the short path deadlocks the others",
+                    )
+                yield from self._check_stmts(func, stmt.body, site_of)
+                yield from self._check_stmts(func, stmt.orelse, site_of)
+            elif isinstance(stmt, (ast.For, ast.While, ast.AsyncFor, ast.Try)):
+                for block in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                    getattr(stmt, "finalbody", []),
+                ):
+                    yield from self._check_stmts(func, block, site_of)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from self._check_stmts(func, handler.body, site_of)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._check_stmts(func, stmt.body, site_of)
+
+
+def _is_barrier_wait(call: ast.Call) -> bool:
+    chain = attr_chain(call.func)
+    if chain is None or len(chain) < 2 or chain[-1] != "wait":
+        return False
+    return any("barrier" in part.lower() for part in chain[:-1])
+
+
+def _render_sig(sig: Tuple) -> str:
+    if not sig:
+        return "[]"
+    return "[" + ", ".join(
+        part if isinstance(part, str) else "loop(...)" for part in sig
+    ) + "]"
+
+
+# ---------------------------------------------------------------------------
+# CHX011: generator-process hygiene, whole-program
+# ---------------------------------------------------------------------------
+
+
+class CrossModuleProcessRule(DeepRule):
+    """A generator function defined in *another module* called as a bare
+    expression statement creates a process body and silently discards it
+    — nothing ever runs.  CHX004 catches this within one file; this rule
+    resolves the callee through imports, re-exports and ``self`` to
+    cover the whole project.
+    """
+
+    rule_id = "CHX011"
+    severity = "error"
+    title = "cross-module generator process created but never scheduled"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for func in ctx.index.iter_functions():
+            bare_calls = _bare_expression_calls(func.node)
+            if not bare_calls:
+                continue
+            for site in ctx.graph.call_sites_in(func.qualname):
+                if id(site.node) not in bare_calls:
+                    continue
+                if site.kind not in ("direct", "self-method"):
+                    continue
+                for target in site.targets:
+                    callee = ctx.index.functions.get(target)
+                    if callee is None or not callee.is_generator:
+                        continue
+                    if callee.module == func.module:
+                        continue  # same file: CHX004's jurisdiction
+                    yield self._finding(
+                        func.file,
+                        site.line,
+                        f"call to generator '{target}' discards the process "
+                        f"body; schedule it with sim.process(...) or iterate "
+                        f"it with 'yield from'",
+                    )
+
+
+def _bare_expression_calls(func_node: ast.AST) -> Set[int]:
+    """ids of Call nodes that are a whole expression statement."""
+    out: Set[int] = set()
+    stack = list(getattr(func_node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            out.add(id(node.value))
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CHX012: static race candidates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One sanitizer access site seen statically."""
+
+    file: str
+    line: int
+    function: str  # enclosing def chain, best-effort
+    kind: Optional[str]  # key tuple's first element when literal
+    index: Optional[int]  # key tuple's second element when a literal int
+    machine_literal: Optional[int]  # literal machine attribution, if any
+    write: Optional[bool]  # literal write flag, if any
+    label: Optional[str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "function": self.function,
+            "kind": self.kind,
+            "index": self.index,
+            "machine_literal": self.machine_literal,
+            "write": self.write,
+            "label": self.label,
+        }
+
+
+_SAN_RECEIVERS = frozenset({"_san", "san", "sanitizer", "_sanitizer"})
+
+
+def collect_race_candidates(index: ProjectIndex) -> List[RaceCandidate]:
+    """Every ``<sanitizer>.access(...)`` call site in the project.
+
+    Scans full module trees (including nested defs, which the function
+    index skips) so monkeypatch-style plants in tests are visible too.
+    """
+    candidates: List[RaceCandidate] = []
+    for module in sorted(index.modules.values(), key=lambda m: m.file):
+        stack: List[Tuple[ast.AST, str]] = [(module.tree, "<module>")]
+        while stack:
+            node, scope = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = node.name if scope == "<module>" else f"{scope}.{node.name}"
+            if isinstance(node, ast.Call):
+                candidate = _candidate_from_call(node, module, scope)
+                if candidate is not None:
+                    candidates.append(candidate)
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, scope))
+    candidates.sort(key=lambda c: (c.file, c.line))
+    return candidates
+
+
+def _candidate_from_call(
+    call: ast.Call, module: ModuleInfo, scope: str
+) -> Optional[RaceCandidate]:
+    chain = attr_chain(call.func)
+    if chain is None or len(chain) < 2 or chain[-1] != "access":
+        return None
+    receiver_terminal = chain[-2]
+    if receiver_terminal not in _SAN_RECEIVERS and not any(
+        part in _SAN_RECEIVERS for part in chain[:-1]
+    ):
+        return None
+
+    def arg(position: int, keyword: str) -> Optional[ast.expr]:
+        if len(call.args) > position:
+            node = call.args[position]
+            return None if isinstance(node, ast.Starred) else node
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None
+
+    key_node = arg(0, "key")
+    kind: Optional[str] = None
+    index_literal: Optional[int] = None
+    if isinstance(key_node, ast.Tuple) and key_node.elts:
+        first = key_node.elts[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            kind = first.value
+        if len(key_node.elts) > 1:
+            index_literal = parse_constant_int(key_node.elts[1])
+    elif isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+        kind = key_node.value
+
+    machine_node = arg(1, "machine")
+    machine_literal = (
+        parse_constant_int(machine_node) if machine_node is not None else None
+    )
+    write_node = arg(2, "write")
+    write: Optional[bool] = None
+    if isinstance(write_node, ast.Constant) and isinstance(write_node.value, bool):
+        write = write_node.value
+    label_node = arg(3, "label")
+    label = (
+        label_node.value
+        if isinstance(label_node, ast.Constant)
+        and isinstance(label_node.value, str)
+        else None
+    )
+    return RaceCandidate(
+        file=module.file,
+        line=call.lineno,
+        function=scope,
+        kind=kind,
+        index=index_literal,
+        machine_literal=machine_literal,
+        write=write,
+        label=label,
+    )
+
+
+class StaticRaceCandidateRule(DeepRule):
+    """Lockset-style static pass over sanitizer access sites.
+
+    The full candidate list seeds ``run --sanitize --focus-from-check``
+    (dynamic instrumentation focuses on statically flagged state kinds).
+    *Findings* are reserved for statically-pinned suspects: a write
+    whose machine attribution is a hard-coded literal cannot be the
+    accessing engine's own identity (every legitimate engine access
+    passes ``self.machine``), so it is either a planted race or a
+    mis-attributed report that would corrupt the happens-before
+    analysis.
+    """
+
+    rule_id = "CHX012"
+    severity = "error"
+    title = "statically attributed cross-machine write candidate"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for candidate in collect_race_candidates(ctx.index):
+            if candidate.write is True and candidate.machine_literal is not None:
+                where = (
+                    f"key kind '{candidate.kind}'"
+                    if candidate.kind is not None
+                    else "an opaque key"
+                )
+                yield self._finding(
+                    candidate.file,
+                    candidate.line,
+                    f"sanitizer write on {where} hard-codes machine "
+                    f"{candidate.machine_literal} (in {candidate.function}); "
+                    f"engine accesses must attribute to self.machine — "
+                    f"literal attribution marks a race candidate",
+                )
+
+
+def default_deep_rules() -> List[DeepRule]:
+    return [
+        InterproceduralTaintRule(),
+        GrantPairingRule(),
+        BarrierPairingRule(),
+        CrossModuleProcessRule(),
+        StaticRaceCandidateRule(),
+    ]
+
+
+#: rule id -> title, for docs/tests (mirrors rules.RULE_TABLE).
+DEEP_RULE_TABLE: Dict[str, str] = {
+    rule.rule_id: rule.title for rule in default_deep_rules()
+}
+
+
+__all__ = [
+    "DEEP_RULE_TABLE",
+    "DEEP_SIM_PACKAGES",
+    "BarrierPairingRule",
+    "CrossModuleProcessRule",
+    "DeepContext",
+    "DeepRule",
+    "GrantPairingRule",
+    "InterproceduralTaintRule",
+    "RaceCandidate",
+    "StaticRaceCandidateRule",
+    "collect_race_candidates",
+    "default_deep_rules",
+]

@@ -64,6 +64,40 @@ class FileContext:
                 table[number] = {i for i in ids if i}
         return table
 
+    def effective_suppressions(self, tree: ast.Module) -> Dict[int, Set[str]]:
+        """Suppressions widened to statement spans.
+
+        Findings report at a statement's *first* line, but a multi-line
+        call naturally carries its comment on the closing paren.  A
+        suppression anywhere within a simple statement's line span also
+        suppresses at the statement's first line.  Compound statements
+        (if/for/try/def/…) only widen over their *header* lines — a
+        comment buried in a function body must not silence findings on
+        the ``def`` line.
+        """
+        raw = self.suppressions()
+        table: Dict[int, Set[str]] = {line: set(ids) for line, ids in raw.items()}
+        if not raw:
+            return table
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            end = getattr(node, "end_lineno", None) or start
+            inner_starts = [
+                block[0].lineno
+                for name in ("body", "orelse", "finalbody")
+                if (block := getattr(node, name, None))
+                and isinstance(block, list)
+                and block
+            ] + [handler.lineno for handler in getattr(node, "handlers", [])]
+            if inner_starts:
+                end = max(start, min(inner_starts) - 1)
+            for line in range(start + 1, end + 1):
+                if line in raw:
+                    table.setdefault(start, set()).update(raw[line])
+        return table
+
 
 class Rule:
     """Base class for lint rules.
@@ -174,7 +208,7 @@ class LintEngine:
                         )
                     )
 
-        suppressions = ctx.suppressions()
+        suppressions = ctx.effective_suppressions(tree)
         for finding in sorted(raw):
             if finding.rule_id in suppressions.get(finding.line, ()):
                 result.suppressed.append(finding)

@@ -30,7 +30,7 @@ between its two accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 #: Message kinds that are genuine synchronization edges (the steal
 #: protocol and the gather accumulator handoff).  Everything else is
@@ -101,6 +101,8 @@ class Sanitizer:
         self._seen_pairs: set = set()
         self.accesses = 0
         self.sync_edges = 0
+        #: When set, only keys of these kinds are tracked (CHX012 focus).
+        self._focus: Optional[frozenset] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -127,6 +129,18 @@ class Sanitizer:
     def clock_of(self, machine: int) -> Tuple[int, ...]:
         """Snapshot of one machine's vector clock (tests/debugging)."""
         return tuple(self._clocks[machine])
+
+    def set_focus(self, kinds: Optional[Sequence[str]]) -> None:
+        """Restrict access tracking to keys of the given *kinds*.
+
+        A key's kind is its first tuple element (``("vertex", 0)`` ->
+        ``"vertex"``) or the key itself for scalar keys.  ``check
+        --deep``'s CHX012 pass produces the kind list; ``run --sanitize
+        --focus-from-check`` feeds it here so dynamic instrumentation
+        concentrates on statically flagged state.  ``None`` clears the
+        focus (track everything).
+        """
+        self._focus = frozenset(kinds) if kinds is not None else None
 
     # -- synchronization edges -----------------------------------------
 
@@ -186,6 +200,10 @@ class Sanitizer:
         this one, i.e. the prior machine's clock component at its access
         exceeds what ``machine`` has observed of that machine.
         """
+        if self._focus is not None:
+            kind = key[0] if isinstance(key, tuple) and key else key
+            if kind not in self._focus:
+                return
         self._tick(machine)
         self.accesses += 1
         clock = self._clocks[machine]

@@ -138,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="attach the happens-before sanitizer: vector-"
                           "clock race detection over cross-machine shared "
                           "state (non-zero exit if races are found)")
+    run.add_argument("--focus-from-check", action="store_true",
+                     help="with --sanitize: run the static race-candidate "
+                          "pass (CHX012) over src first and instrument only "
+                          "the state kinds it flags")
     run.add_argument("--inject-fault", action="append", metavar="SPEC",
                      dest="inject_fault",
                      help="inject a machine fault into the simulation; "
@@ -212,6 +216,15 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--rules", metavar="IDS",
                        help="comma-separated rule ids to run "
                             "(default: all CHX rules)")
+    check.add_argument("--deep", action="store_true",
+                       help="also run the whole-program rules CHX008-012 "
+                            "(call graph + interprocedural dataflow)")
+    check.add_argument("--stats", action="store_true",
+                       help="print per-rule finding/suppression counts "
+                            "(text format only; json always includes them)")
+    check.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache the parsed project index for --deep, "
+                            "keyed on a source-tree hash (e.g. .chaos-cache)")
 
     return parser
 
@@ -292,6 +305,18 @@ def _command_run(args) -> int:
         from repro.analysis import Sanitizer
 
         sanitizer = Sanitizer()
+        if args.focus_from_check:
+            from repro.analysis.flow import collect_focus_kinds
+
+            kinds = collect_focus_kinds(["src"])
+            sanitizer.set_focus(kinds)
+            if not args.json:
+                print(
+                    f"sanitizer focus (from CHX012 candidates): "
+                    f"{', '.join(kinds) if kinds else '(none)'}"
+                )
+    elif args.focus_from_check:
+        raise SystemExit("--focus-from-check requires --sanitize")
 
     if not args.json:
         print(f"graph: {graph}")
@@ -567,7 +592,21 @@ def _command_bench(args) -> int:
     return 0
 
 
+def _rule_stats(result) -> dict:
+    """Per-rule finding/suppression counts for --stats and json output."""
+    stats: dict = {}
+    for finding in result.findings:
+        entry = stats.setdefault(finding.rule_id, {"findings": 0, "suppressed": 0})
+        entry["findings"] += 1
+    for finding in result.suppressed:
+        entry = stats.setdefault(finding.rule_id, {"findings": 0, "suppressed": 0})
+        entry["suppressed"] += 1
+    return dict(sorted(stats.items()))
+
+
 def _command_check(args) -> int:
+    import json as json_module
+
     from repro.analysis import (
         LintEngine,
         default_rules,
@@ -575,41 +614,104 @@ def _command_check(args) -> int:
         format_json,
         format_text,
     )
+    from repro.analysis.flow import DeepEngine, default_deep_rules
 
-    rules = default_rules()
+    local_rules = default_rules()
+    deep_rules = default_deep_rules() if args.deep else []
     if args.rules:
         wanted = {rule_id.strip() for rule_id in args.rules.split(",")
                   if rule_id.strip()}
-        known = {rule.rule_id for rule in rules}
+        known = {rule.rule_id for rule in local_rules} | {
+            rule.rule_id for rule in default_deep_rules()
+        }
         unknown = wanted - known
         if unknown:
-            raise SystemExit(
+            print(
                 f"unknown rule ids: {', '.join(sorted(unknown))} "
-                f"(known: {', '.join(sorted(known))})"
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
             )
-        rules = [rule for rule in rules if rule.rule_id in wanted]
+            return 2
+        local_rules = [r for r in local_rules if r.rule_id in wanted]
+        deep_rules = [r for r in deep_rules if r.rule_id in wanted]
+        deep_only = {r.rule_id for r in default_deep_rules()}
+        if not args.deep and wanted & deep_only:
+            print(
+                f"note: {', '.join(sorted(wanted & deep_only))} are deep "
+                f"rules; pass --deep to run them",
+                file=sys.stderr,
+            )
 
-    engine = LintEngine(rules=rules)
-    result = engine.check_paths(args.paths)
+    engine = LintEngine(rules=local_rules)
+    result = engine.check_paths(args.paths) if local_rules else None
+
+    deep_result = None
+    if args.deep and (deep_rules or not args.rules):
+        deep_engine = DeepEngine(rules=deep_rules)
+        deep_result = deep_engine.check_paths(
+            args.paths, cache_dir=args.cache_dir
+        )
+        if result is None:
+            combined = deep_result.result
+        else:
+            combined = result
+            combined.findings.extend(deep_result.result.findings)
+            combined.suppressed.extend(deep_result.result.suppressed)
+            combined.findings.sort()
+            combined.suppressed.sort()
+    else:
+        combined = result
+    if combined is None:  # --rules selected only deep ids without --deep
+        from repro.analysis import LintResult
+
+        combined = LintResult()
 
     if args.fmt == "json":
-        print(format_json(result.findings,
-                          suppressed=len(result.suppressed)))
+        document = json_module.loads(
+            format_json(combined.findings, suppressed=len(combined.suppressed))
+        )
+        document["rule_stats"] = _rule_stats(combined)
+        if deep_result is not None:
+            document["deep"] = {
+                "race_candidates": [
+                    c.to_dict() for c in deep_result.candidates
+                ],
+                "call_graph": deep_result.resolution,
+                "cache_hit": deep_result.cache_hit,
+            }
+        print(json_module.dumps(document, indent=2))
     elif args.fmt == "github":
-        output = format_github(result.findings)
+        output = format_github(combined.findings)
         if output:
             print(output)
     else:
-        output = format_text(result.findings)
+        output = format_text(combined.findings)
         if output:
             print(output)
         print(
-            f"{len(result.findings)} finding(s), "
-            f"{len(result.suppressed)} suppressed, "
-            f"{result.files_checked} file(s) checked",
+            f"{len(combined.findings)} finding(s), "
+            f"{len(combined.suppressed)} suppressed, "
+            f"{combined.files_checked} file(s) checked",
             file=sys.stderr,
         )
-    return 1 if result.findings else 0
+        if args.stats:
+            for rule_id, entry in _rule_stats(combined).items():
+                print(
+                    f"  {rule_id}: {entry['findings']} finding(s), "
+                    f"{entry['suppressed']} suppressed",
+                    file=sys.stderr,
+                )
+        if deep_result is not None:
+            fraction = deep_result.resolution.get(
+                "project_resolution_fraction", 0.0
+            )
+            print(
+                f"deep: {len(deep_result.candidates)} race candidate(s), "
+                f"call-graph resolution {fraction:.1%}"
+                + (" (cached index)" if deep_result.cache_hit else ""),
+                file=sys.stderr,
+            )
+    return 1 if combined.findings else 0
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -78,7 +78,8 @@ class PartitionPhaseState:
     workers: int = 0
     stealers: List[int] = field(default_factory=list)
     closed: bool = False
-    accums: List[object] = field(default_factory=list)
+    #: (owner machine, accumulator) pairs shipped home by stealers.
+    accums: List[Tuple[int, object]] = field(default_factory=list)
     accum_group: Optional[WaitGroup] = None
 
 
@@ -397,7 +398,7 @@ class ComputationEngine:
                 f"{partition}"
             )
         if accum is not None:
-            state.accums.append(accum)
+            state.accums.append((message.src, accum))
         state.accum_group.done_one()
 
     # ------------------------------------------------------------------
@@ -518,8 +519,11 @@ class ComputationEngine:
                     label="gather.read",
                 )
                 if state.accum is not None:
+                    # Keyed by owning machine, not id(): host pointer
+                    # values are ASLR-dependent and would make race
+                    # reports nondeterministic across runs.
                     self._san.access(
-                        ("accum", state.partition, id(state.accum)),
+                        ("accum", state.partition, self.machine),
                         self.machine,
                         write=True,
                         label="gather.accum",
@@ -745,7 +749,7 @@ class ComputationEngine:
             accum = self.workload.begin_gather(partition)
             if self._san is not None and accum is not None:
                 self._san.access(
-                    ("accum", partition, id(accum)),
+                    ("accum", partition, self.machine),
                     self.machine,
                     write=True,
                     label="accum.init",
@@ -798,12 +802,14 @@ class ComputationEngine:
         apply_cpu = vertices * self.config.cpu_seconds_per_vertex
         if merge_cpu + apply_cpu > 0:
             yield self.cores.execute(merge_cpu + apply_cpu)
-        for other in state.accums:
+        for owner, other in state.accums:
             if self._san is not None and other is not None:
                 # Reading a stealer's accumulator: ordered by the accum
-                # message handoff (or it is a race).
+                # message handoff (or it is a race).  The key names the
+                # stealer that owns the accumulator, matching its
+                # accum.init/gather.accum writes.
                 self._san.access(
-                    ("accum", partition, id(other)),
+                    ("accum", partition, owner),
                     self.machine,
                     write=False,
                     label="merge.read",
@@ -1057,7 +1063,9 @@ class ComputationEngine:
     def main(self):
         """The engine's top-level process (Figure 4 main loop)."""
         track = self.track
-        if self.preprocess:
+        # preprocess is epoch-uniform: build_epoch sets it identically on
+        # every engine, so all machines take the same branch together.
+        if self.preprocess:  # chaos: ignore[CHX010]
             track.begin("preprocess")
             yield from self._preprocess()
             track.end()

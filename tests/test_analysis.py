@@ -424,6 +424,42 @@ class TestSuppression:
         assert result.clean
         assert len(result.suppressed) == 2
 
+    def test_comment_on_closing_paren_of_multiline_call(self):
+        # The finding reports at the statement's first line; the comment
+        # naturally lands on the closing paren.  Span matching bridges it.
+        result = lint(
+            "import time\n"
+            "t0 = time.time(\n"
+            ")  # chaos: ignore[CHX001] host profiling shim\n"
+        )
+        assert result.clean, result.findings
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].line == 2
+
+    def test_comment_mid_span_of_multiline_statement(self):
+        # Finding at the statement's first line, comment two lines down
+        # inside the same statement span.
+        result = lint(
+            "import time\n"
+            "total = time.time() + (\n"
+            "    1\n"
+            ")  # chaos: ignore[CHX001] fixture\n"
+        )
+        assert result.clean, result.findings
+        assert len(result.suppressed) == 1
+
+    def test_comment_inside_function_body_does_not_cover_def_line(self):
+        # A suppression buried in a compound statement's body must not
+        # widen to the header: only the header span bridges.
+        result = lint(
+            "import time\n"
+            "def helper():\n"
+            "    x = 1  # chaos: ignore[CHX001] unrelated\n"
+            "    return time.time()\n"
+        )
+        assert rule_ids(result) == ["CHX001"]
+        assert result.findings[0].line == 4
+
 
 class TestEngine:
     def test_syntax_error_reported_as_chx000(self):
@@ -530,9 +566,36 @@ class TestCheckCommand:
         (sim / "bad.py").write_text("import time\ntime.time()\n")
         assert main(["check", str(tmp_path), "--rules", "CHX002"]) == 0
 
-    def test_unknown_rule_id_rejected(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["check", str(tmp_path), "--rules", "CHX999"])
+    def test_unknown_rule_id_exits_2(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path), "--rules", "CHX999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule ids: CHX999" in err
+        assert "CHX012" in err  # deep rule ids are known too
+
+    def test_stats_prints_per_rule_counts(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text(
+            "import time\n"
+            "time.time()\n"
+            "time.monotonic()  # chaos: ignore[CHX001] fixture\n"
+        )
+        assert main(["check", str(tmp_path), "--stats"]) == 1
+        err = capsys.readouterr().err
+        assert "CHX001: 1 finding(s), 1 suppressed" in err
+
+    def test_stats_in_json_document(self, tmp_path, capsys):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        assert main(["check", str(tmp_path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["rule_stats"]["CHX001"]["findings"] == 1
+
+    def test_deep_rule_filter_without_deep_flag_hints(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["check", str(tmp_path), "--rules", "CHX008"]) == 0
+        assert "pass --deep" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------

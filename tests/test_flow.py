@@ -1,0 +1,776 @@
+"""Tests for the interprocedural flow layer (``check --deep``).
+
+Covers the project index / call graph builders, the CFG helpers, the
+taint framework, and rules CHX008-CHX012 — each against a small fixture
+package with *planted* violations, asserting that exactly the planted
+sites are reported and that inline suppressions are honored.  Also
+self-hosts the deep check on ``src/`` (must be clean) and verifies the
+call-graph resolution floor.
+"""
+
+import ast
+import json
+import textwrap
+
+from repro.analysis.flow import (
+    CFG,
+    CallGraph,
+    DeepEngine,
+    ProjectIndex,
+    collect_focus_kinds,
+    collect_race_candidates,
+    definitely_terminates,
+    yield_lines,
+)
+from repro.analysis.flow.rules import DEEP_RULE_TABLE
+from repro.analysis.sanitizer import Sanitizer
+from repro.cli import main
+
+
+def build_pkg(tmp_path, files):
+    """Write a fixture package tree; ``files`` maps rel-path -> source."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def deep_check(path, rules=None):
+    engine = DeepEngine()
+    if rules is not None:
+        engine.rules = [r for r in engine.rules if r.rule_id in rules]
+    return engine.check_paths([str(path)])
+
+
+def findings_of(result, rule_id):
+    return [f for f in result.result.findings if f.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# project index + call graph (satellite: builder tests)
+# ---------------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def _graph(self, tmp_path, files):
+        build_pkg(tmp_path, files)
+        index = ProjectIndex.build([str(tmp_path)])
+        return index, CallGraph.build(index)
+
+    def _sites(self, graph, caller):
+        return {
+            (s.kind, target)
+            for s in graph.call_sites_in(caller)
+            for target in (s.targets or [None])
+        }
+
+    def test_module_names_climb_init_ancestors(self, tmp_path):
+        build_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "def f():\n    return 1\n",
+                "loose.py": "def g():\n    return 2\n",
+            },
+        )
+        index = ProjectIndex.build([str(tmp_path)])
+        assert "pkg.sub.mod" in index.modules
+        assert "loose" in index.modules
+        assert "pkg.sub.mod.f" in index.functions
+
+    def test_direct_call_resolution(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def helper():\n    return 1\n",
+                "pkg/b.py": (
+                    "from pkg.a import helper\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            },
+        )
+        assert ("direct", "pkg.a.helper") in self._sites(graph, "pkg.b.caller")
+
+    def test_recursion_terminates_and_self_edges(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/r.py": (
+                    "def fact(n):\n"
+                    "    if n <= 1:\n"
+                    "        return 1\n"
+                    "    return n * fact(n - 1)\n"
+                ),
+            },
+        )
+        assert ("direct", "pkg.r.fact") in self._sites(graph, "pkg.r.fact")
+        # Reachability must not loop forever on the cycle.
+        assert "pkg.r.fact" in graph.reachable("pkg.r.fact")
+
+    def test_decorated_function_still_resolves(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/d.py": (
+                    "def deco(f):\n    return f\n"
+                    "@deco\n"
+                    "def task():\n    return 1\n"
+                    "def caller():\n    return task()\n"
+                ),
+            },
+        )
+        assert "pkg.d.task" in index.functions
+        assert ("direct", "pkg.d.task") in self._sites(graph, "pkg.d.caller")
+
+    def test_self_method_resolution(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/c.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n"
+                    "        return self.step()\n"
+                    "    def step(self):\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        assert ("self-method", "pkg.c.Engine.step") in self._sites(
+            graph, "pkg.c.Engine.run"
+        )
+
+    def test_init_reexport_resolution(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from pkg.impl import helper\n",
+                "pkg/impl.py": "def helper():\n    return 1\n",
+                "user.py": (
+                    "import pkg\n"
+                    "def go():\n    return pkg.helper()\n"
+                ),
+            },
+        )
+        assert ("direct", "pkg.impl.helper") in self._sites(graph, "user.go")
+
+    def test_by_name_overapproximation(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "class A:\n"
+                    "    def flush(self):\n        return 1\n"
+                    "def drain(obj):\n"
+                    "    return obj.flush()\n"
+                ),
+            },
+        )
+        sites = self._sites(graph, "pkg.m.drain")
+        assert ("by-name", "pkg.m.A.flush") in sites
+
+    def test_list_method_calls_are_builtin_not_by_name(self, tmp_path):
+        index, graph = self._graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "class Buffer:\n"
+                    "    def append(self, item):\n        return item\n"
+                    "def collect(values):\n"
+                    "    out = []\n"
+                    "    for v in values:\n"
+                    "        out.append(v)\n"
+                    "    return out\n"
+                ),
+            },
+        )
+        kinds = {
+            s.kind for s in graph.call_sites_in("pkg.m.collect")
+        }
+        assert kinds == {"builtin"}
+
+    def test_self_host_resolution_floor(self):
+        """>= 95% of project-looking call sites in src/ must resolve."""
+        index = ProjectIndex.build(["src"])
+        graph = CallGraph.build(index)
+        stats = graph.resolution_stats()
+        assert stats["project_resolution_fraction"] >= 0.95
+
+
+# ---------------------------------------------------------------------------
+# CFG helpers
+# ---------------------------------------------------------------------------
+
+
+class TestCFG:
+    def _func(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        return tree.body[0]
+
+    def test_definitely_terminates_return(self):
+        func = self._func("def f():\n    return 1\n")
+        assert definitely_terminates(func.body)
+
+    def test_definitely_terminates_if_both_branches(self):
+        func = self._func(
+            "def f(x):\n"
+            "    if x:\n        return 1\n"
+            "    else:\n        raise ValueError\n"
+        )
+        assert definitely_terminates(func.body)
+
+    def test_open_path_does_not_terminate(self):
+        func = self._func(
+            "def f(x):\n"
+            "    if x:\n        return 1\n"
+            "    x += 1\n"
+        )
+        assert not definitely_terminates(func.body)
+
+    def test_yield_lines(self):
+        func = self._func(
+            "def f(env):\n"
+            "    yield env.timeout(1)\n"
+            "    x = 2\n"
+            "    yield env.timeout(x)\n"
+        )
+        assert yield_lines(func) == [2, 4]
+
+    def test_cfg_builds_for_try_and_loops(self):
+        func = self._func(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n            g(x)\n"
+            "        finally:\n            h(x)\n"
+            "    while True:\n        break\n"
+            "    return 0\n"
+        )
+        cfg = CFG.build(func)
+        assert cfg.reachable_blocks()
+        assert any(
+            isinstance(s, ast.Return) for s in cfg.statements_in_order()
+        )
+
+
+# ---------------------------------------------------------------------------
+# CHX008: interprocedural taint
+# ---------------------------------------------------------------------------
+
+
+CHX008_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/helpers.py": (
+        "import time\n"
+        "def host_seed():\n"
+        "    return time.time()\n"
+        "def relay(value):\n"
+        "    return value\n"
+    ),
+    "proj/sim/__init__.py": "",
+    "proj/sim/engine.py": (
+        "def configure(seed):\n"
+        "    return seed\n"
+    ),
+    "proj/driver.py": (
+        "from proj.helpers import host_seed, relay\n"
+        "from proj.sim.engine import configure\n"
+        "def direct_launder():\n"
+        "    configure(host_seed())\n"
+        "def double_launder():\n"
+        "    configure(relay(host_seed()))\n"
+        "def clean():\n"
+        "    configure(42)\n"
+    ),
+}
+
+
+class TestCHX008:
+    def test_exactly_the_planted_flows_report(self, tmp_path):
+        build_pkg(tmp_path, CHX008_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX008"})
+        found = findings_of(result, "CHX008")
+        lines = sorted(f.line for f in found)
+        assert lines == [4, 6]  # direct_launder + double_launder, not clean
+        assert all("wall-clock" in f.message for f in found)
+        assert all("configure" in f.message for f in found)
+
+    def test_inline_suppression_honored(self, tmp_path):
+        files = dict(CHX008_FIXTURE)
+        files["proj/driver.py"] = files["proj/driver.py"].replace(
+            "    configure(host_seed())",
+            "    configure(host_seed())  # chaos: ignore[CHX008] fixture",
+        )
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX008"})
+        assert sorted(f.line for f in findings_of(result, "CHX008")) == [6]
+        assert [f.line for f in result.result.suppressed] == [4]
+
+    def test_seeded_rng_factory_is_clean(self, tmp_path):
+        build_pkg(
+            tmp_path,
+            {
+                "proj/__init__.py": "",
+                "proj/sim/__init__.py": "",
+                "proj/sim/engine.py": "def configure(seed):\n    return seed\n",
+                "proj/driver.py": (
+                    "import random\n"
+                    "from proj.sim.engine import configure\n"
+                    "def seeded(config_seed):\n"
+                    "    rng = random.Random(config_seed)\n"
+                    "    configure(rng)\n"
+                    "def unseeded():\n"
+                    "    rng = random.Random()\n"
+                    "    configure(rng)\n"
+                ),
+            },
+        )
+        result = deep_check(tmp_path, rules={"CHX008"})
+        assert sorted(f.line for f in findings_of(result, "CHX008")) == [8]
+
+
+# ---------------------------------------------------------------------------
+# CHX009: grant pairing across yields
+# ---------------------------------------------------------------------------
+
+
+CHX009_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/sim/__init__.py": "",
+    "proj/sim/proc.py": (
+        "def canonical(env, sem):\n"
+        "    yield sem.acquire()\n"
+        "    sem.release()\n"
+        "def pending_then_yield(env, sem):\n"
+        "    evt = sem.acquire()\n"
+        "    yield evt\n"
+        "    sem.release()\n"
+        "def risky(env, sem):\n"
+        "    yield sem.acquire()\n"
+        "    yield env.timeout(1)\n"
+        "    sem.release()\n"
+        "def safe(env, sem):\n"
+        "    yield sem.acquire()\n"
+        "    try:\n"
+        "        yield env.timeout(1)\n"
+        "    finally:\n"
+        "        sem.release()\n"
+        "def branch_leak(env, sem, flag):\n"
+        "    yield sem.acquire()\n"
+        "    if flag:\n"
+        "        sem.release()\n"
+        "def transfer(env, sem):\n"
+        "    evt = sem.acquire()\n"
+        "    return evt\n"
+    ),
+}
+
+
+class TestCHX009:
+    def test_exactly_the_planted_leaks_report(self, tmp_path):
+        build_pkg(tmp_path, CHX009_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX009"})
+        found = findings_of(result, "CHX009")
+        lines = sorted(f.line for f in found)
+        # line 10: risky's second yield while the grant is held;
+        # line 19: branch_leak's acquire, unreleased on the flag=False path.
+        assert lines == [10, 19]
+        by_line = {f.line: f.message for f in found}
+        assert "held" in by_line[10] and "Interrupt" in by_line[10]
+        assert "released on every path" in by_line[19]
+
+    def test_interprocedural_split_pair(self, tmp_path):
+        build_pkg(
+            tmp_path,
+            {
+                "proj/__init__.py": "",
+                "proj/sim/__init__.py": "",
+                "proj/sim/pool.py": (
+                    "def reserve(sem):\n"
+                    "    sem.acquire()\n"
+                    "def free(sem):\n"
+                    "    sem.release()\n"
+                    "def leaky(env, sem):\n"
+                    "    reserve(sem)\n"
+                    "    yield env.timeout(1)\n"
+                    "    sem.release()\n"
+                    "def protected(env, sem):\n"
+                    "    reserve(sem)\n"
+                    "    try:\n"
+                    "        yield env.timeout(1)\n"
+                    "    finally:\n"
+                    "        free(sem)\n"
+                ),
+            },
+        )
+        result = deep_check(tmp_path, rules={"CHX009"})
+        assert sorted(f.line for f in findings_of(result, "CHX009")) == [7]
+
+    def test_suppression_honored(self, tmp_path):
+        files = dict(CHX009_FIXTURE)
+        files["proj/sim/proc.py"] = files["proj/sim/proc.py"].replace(
+            "    yield env.timeout(1)\n    sem.release()\n",
+            "    yield env.timeout(1)  # chaos: ignore[CHX009] fixture\n"
+            "    sem.release()\n",
+            1,
+        )
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX009"})
+        assert sorted(f.line for f in findings_of(result, "CHX009")) == [19]
+
+
+# ---------------------------------------------------------------------------
+# CHX010: barrier pairing
+# ---------------------------------------------------------------------------
+
+
+CHX010_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/sim/__init__.py": "",
+    "proj/sim/eng.py": (
+        "class Engine:\n"
+        "    def __init__(self, barrier):\n"
+        "        self.barrier = barrier\n"
+        "    def lopsided(self, flag):\n"
+        "        if flag:\n"
+        "            self.barrier.wait()\n"
+        "        return 1\n"
+        "    def guarded(self, flag):\n"
+        "        if not flag:\n"
+        "            return None\n"
+        "        self.barrier.wait()\n"
+        "        return 1\n"
+        "    def sync_point(self):\n"
+        "        self.barrier.wait()\n"
+        "    def transitive(self, flag):\n"
+        "        if flag:\n"
+        "            self.sync_point()\n"
+        "        else:\n"
+        "            self.barrier.wait()\n"
+    ),
+}
+
+
+class TestCHX010:
+    def test_exactly_the_planted_divergence_reports(self, tmp_path):
+        build_pkg(tmp_path, CHX010_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX010"})
+        found = findings_of(result, "CHX010")
+        assert [f.line for f in found] == [5]  # lopsided's if only
+        assert "barrier" in found[0].message
+        assert "lopsided" in found[0].message
+
+    def test_outside_sim_packages_not_checked(self, tmp_path):
+        files = {
+            "proj/__init__.py": "",
+            "proj/tools/__init__.py": "",
+            "proj/tools/eng.py": CHX010_FIXTURE["proj/sim/eng.py"],
+        }
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX010"})
+        assert findings_of(result, "CHX010") == []
+
+    def test_suppression_honored(self, tmp_path):
+        files = dict(CHX010_FIXTURE)
+        files["proj/sim/eng.py"] = files["proj/sim/eng.py"].replace(
+            "        if flag:\n            self.barrier.wait()\n",
+            "        if flag:  # chaos: ignore[CHX010] fixture\n"
+            "            self.barrier.wait()\n",
+            1,
+        )
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX010"})
+        assert findings_of(result, "CHX010") == []
+        assert [f.line for f in result.result.suppressed] == [5]
+
+
+# ---------------------------------------------------------------------------
+# CHX011: cross-module generator hygiene
+# ---------------------------------------------------------------------------
+
+
+CHX011_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/sim/__init__.py": "",
+    "proj/sim/workers.py": (
+        "def pump(env):\n"
+        "    yield env.timeout(1)\n"
+    ),
+    "proj/sim/driver.py": (
+        "from proj.sim.workers import pump\n"
+        "def launch(env, sim):\n"
+        "    pump(env)\n"
+        "def scheduled(env, sim):\n"
+        "    sim.process(pump(env))\n"
+        "def delegated(env, sim):\n"
+        "    yield from pump(env)\n"
+    ),
+}
+
+
+class TestCHX011:
+    def test_exactly_the_planted_discard_reports(self, tmp_path):
+        build_pkg(tmp_path, CHX011_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX011"})
+        found = findings_of(result, "CHX011")
+        assert [f.line for f in found] == [3]
+        assert "proj.sim.workers.pump" in found[0].message
+
+    def test_same_module_left_to_chx004(self, tmp_path):
+        build_pkg(
+            tmp_path,
+            {
+                "proj/__init__.py": "",
+                "proj/sim/__init__.py": "",
+                "proj/sim/one.py": (
+                    "def pump(env):\n"
+                    "    yield env.timeout(1)\n"
+                    "def launch(env):\n"
+                    "    pump(env)\n"
+                ),
+            },
+        )
+        result = deep_check(tmp_path, rules={"CHX011"})
+        assert findings_of(result, "CHX011") == []
+
+
+# ---------------------------------------------------------------------------
+# CHX012: static race candidates
+# ---------------------------------------------------------------------------
+
+
+CHX012_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/sim/__init__.py": "",
+    "proj/sim/eng.py": (
+        "class Engine:\n"
+        "    def __init__(self, san, machine):\n"
+        "        self._san = san\n"
+        "        self.machine = machine\n"
+        "    def ok(self, v):\n"
+        "        self._san.access(('vertex', v), self.machine, write=True,\n"
+        "                         label='compute.write')\n"
+        "    def planted(self, v):\n"
+        "        self._san.access(('vertex', v), 1, write=True,\n"
+        "                         label='injected.write')\n"
+        "    def read_only(self, v):\n"
+        "        self._san.access(('chunks', v), 0, write=False,\n"
+        "                         label='scan.read')\n"
+    ),
+}
+
+
+class TestCHX012:
+    def test_literal_machine_write_is_the_only_finding(self, tmp_path):
+        build_pkg(tmp_path, CHX012_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX012"})
+        found = findings_of(result, "CHX012")
+        assert [f.line for f in found] == [9]
+        assert "machine 1" in found[0].message
+
+    def test_suppression_honored(self, tmp_path):
+        files = dict(CHX012_FIXTURE)
+        files["proj/sim/eng.py"] = files["proj/sim/eng.py"].replace(
+            "        self._san.access(('vertex', v), 1, write=True,\n",
+            "        self._san.access(('vertex', v), 1, write=True,"
+            "  # chaos: ignore[CHX012] fixture\n",
+        )
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX012"})
+        assert findings_of(result, "CHX012") == []
+        assert [f.line for f in result.result.suppressed] == [9]
+
+    def test_candidate_table_covers_all_access_sites(self, tmp_path):
+        build_pkg(tmp_path, CHX012_FIXTURE)
+        index = ProjectIndex.build([str(tmp_path)])
+        candidates = collect_race_candidates(index)
+        assert len(candidates) == 3
+        kinds = {c.kind for c in candidates}
+        assert kinds == {"vertex", "chunks"}
+        planted = [c for c in candidates if c.machine_literal == 1]
+        assert len(planted) == 1
+        assert planted[0].write is True
+        assert planted[0].label == "injected.write"
+
+    def test_planted_site_in_real_sanitizer_test_is_a_candidate(self):
+        """The dynamic sanitizer test's monkeypatched injected write (a
+        nested def) must be visible to the static pass."""
+        index = ProjectIndex.build(["tests/test_sanitizer.py"])
+        candidates = collect_race_candidates(index)
+        planted = [
+            c
+            for c in candidates
+            if c.write is True
+            and c.machine_literal is not None
+            and c.label == "injected.write"
+        ]
+        assert planted, "planted race site not found statically"
+        assert planted[0].kind == "vertex"
+
+    def test_focus_kinds_from_src_include_sanitized_state(self):
+        kinds = collect_focus_kinds(["src"])
+        assert "vertex" in kinds
+        assert "accum" in kinds
+
+
+# ---------------------------------------------------------------------------
+# sanitizer focus (CHX012 -> run --sanitize --focus-from-check)
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizerFocus:
+    def _racy_pair(self, san):
+        san.access(("vertex", 0), 0, write=True, label="m0.write")
+        san.access(("vertex", 0), 1, write=True, label="m1.write")
+
+    def test_unfocused_detects_the_race(self):
+        san = Sanitizer()
+        san.bind_run(2)
+        self._racy_pair(san)
+        assert len(san.races) == 1
+
+    def test_focus_on_other_kind_ignores_accesses(self):
+        san = Sanitizer()
+        san.bind_run(2)
+        san.set_focus(["steal"])
+        self._racy_pair(san)
+        assert san.races == []
+        assert san.accesses == 0
+
+    def test_focus_on_matching_kind_still_detects(self):
+        san = Sanitizer()
+        san.bind_run(2)
+        san.set_focus(["vertex", "steal"])
+        self._racy_pair(san)
+        assert len(san.races) == 1
+
+    def test_clearing_focus_restores_tracking(self):
+        san = Sanitizer()
+        san.bind_run(2)
+        san.set_focus(["steal"])
+        san.access(("vertex", 0), 0, write=True, label="m0.write")
+        san.set_focus(None)
+        self._racy_pair(san)
+        assert len(san.races) == 1
+
+
+# ---------------------------------------------------------------------------
+# deep engine: cache, self-host, CLI
+# ---------------------------------------------------------------------------
+
+
+class TestDeepEngine:
+    def test_index_cache_roundtrip(self, tmp_path):
+        pkg = build_pkg(tmp_path / "pkg", CHX008_FIXTURE)
+        cache = tmp_path / "cache"
+        engine = DeepEngine()
+        first = engine.check_paths([str(pkg)], cache_dir=str(cache))
+        second = engine.check_paths([str(pkg)], cache_dir=str(cache))
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert [f.line for f in first.result.findings] == [
+            f.line for f in second.result.findings
+        ]
+
+    def test_cache_invalidated_on_source_change(self, tmp_path):
+        pkg = build_pkg(tmp_path / "pkg", CHX008_FIXTURE)
+        cache = tmp_path / "cache"
+        engine = DeepEngine()
+        engine.check_paths([str(pkg)], cache_dir=str(cache))
+        (pkg / "proj/driver.py").write_text("def clean():\n    return 1\n")
+        third = engine.check_paths([str(pkg)], cache_dir=str(cache))
+        assert third.cache_hit is False
+        assert third.result.findings == []
+
+    def test_corrupt_cache_falls_back_to_rebuild(self, tmp_path):
+        pkg = build_pkg(tmp_path / "pkg", CHX008_FIXTURE)
+        cache = tmp_path / "cache"
+        engine = DeepEngine()
+        engine.check_paths([str(pkg)], cache_dir=str(cache))
+        for pickle_file in cache.glob("deepindex-*.pkl"):
+            pickle_file.write_bytes(b"not a pickle")
+        result = engine.check_paths([str(pkg)], cache_dir=str(cache))
+        assert result.cache_hit is False
+        assert sorted(f.line for f in result.result.findings) == [4, 6]
+
+    def test_deep_rule_table_matches_engine(self):
+        assert sorted(DEEP_RULE_TABLE) == [
+            "CHX008",
+            "CHX009",
+            "CHX010",
+            "CHX011",
+            "CHX012",
+        ]
+        assert DeepEngine().rule_ids() == sorted(DEEP_RULE_TABLE)
+
+
+class TestDeepSelfHost:
+    def test_src_is_clean_under_deep_check(self):
+        """The repo self-hosts its own interprocedural rules."""
+        result = DeepEngine().check_paths(["src"])
+        assert result.result.findings == []
+        # Known, justified suppressions only (each carries an inline
+        # ``chaos: ignore`` with a reason next to it in the source).
+        assert len(result.result.suppressed) <= 2
+        assert result.resolution["project_resolution_fraction"] >= 0.95
+        assert result.candidates, "src/ should contain sanitizer call sites"
+
+
+class TestDeepCLI:
+    def test_deep_json_document(self, tmp_path, capsys):
+        build_pkg(tmp_path, CHX008_FIXTURE)
+        code = main(
+            ["check", str(tmp_path), "--deep", "--format", "json", "--stats"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["count"] == 2
+        assert "CHX008" in document["rule_stats"]
+        assert document["deep"]["cache_hit"] is False
+        assert isinstance(document["deep"]["race_candidates"], list)
+
+    def test_deep_rule_filter(self, tmp_path, capsys):
+        build_pkg(tmp_path, CHX011_FIXTURE)
+        code = main(
+            ["check", str(tmp_path), "--deep", "--rules", "CHX011"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CHX011" in out
+        assert "CHX008" not in out
+
+    def test_deep_clean_fixture_exits_zero(self, tmp_path, capsys):
+        build_pkg(
+            tmp_path,
+            {
+                "proj/__init__.py": "",
+                "proj/util.py": "def f():\n    return 1\n",
+            },
+        )
+        code = main(["check", str(tmp_path), "--deep"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_deep_github_format(self, tmp_path, capsys):
+        build_pkg(tmp_path, CHX012_FIXTURE)
+        code = main(
+            [
+                "check",
+                str(tmp_path),
+                "--deep",
+                "--rules",
+                "CHX012",
+                "--format",
+                "github",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "::error file=" in out
+        assert "CHX012" in out

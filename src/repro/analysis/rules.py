@@ -69,18 +69,37 @@ class WallClockRule(Rule):
     rule_id = "CHX001"
     severity = "error"
     title = "wall-clock call in simulated-clock package"
-    node_types = (ast.Call, ast.ImportFrom)
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
 
     _TIME_FNS = frozenset(
         {"time", "time_ns", "sleep", "perf_counter", "perf_counter_ns",
-         "monotonic", "monotonic_ns", "process_time", "clock"}
+         "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+         "clock"}
     )
     _DATETIME_FNS = frozenset({"now", "utcnow", "today"})
 
     def applies(self, ctx: FileContext) -> bool:
+        # repro.obs.hostclock is the single sanctioned host-clock entry
+        # point (host profiling); tests/test_host.py pins the exemption
+        # to exactly this one module.
+        if ctx.parts and ctx.parts[-1] == "hostclock.py":
+            return False
         return ctx.in_packages(SIM_PACKAGES)
 
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Tuple[int, str]]:
+        if isinstance(node, ast.Import):
+            # A bare ``import time`` would let wall-clock calls in via
+            # the module object, sidestepping the call check below.
+            for alias in node.names:
+                if alias.name == "time" or alias.name.startswith("time."):
+                    yield (
+                        node.lineno,
+                        "importing 'time' in a simulated-clock package; "
+                        "host-side timing must go through "
+                        "repro.obs.hostclock, sim timing through "
+                        "Simulator.now",
+                    )
+            return
         if isinstance(node, ast.ImportFrom):
             if node.module == "time":
                 bad = sorted(

@@ -131,6 +131,7 @@ class ChaosCluster:
         backend_factory: Optional[Callable[[int], object]] = None,
         tracer=None,
         sanitizer=None,
+        host=None,
     ):
         self.config = config
         self.backend_factory = backend_factory or (lambda _m: MemoryChunkStore())
@@ -144,6 +145,11 @@ class ChaosCluster:
         self.sanitizer = (
             sanitizer if sanitizer is not None and sanitizer.enabled else None
         )
+        #: Host profiler (:mod:`repro.obs.host`): real wall/CPU time per
+        #: engine phase, recorded alongside the simulated spans; ``None``
+        #: (the default) costs nothing — every engine resolves it to the
+        #: no-op null profiler.
+        self.host = host
         #: Introspection handles from the most recent run (protocol
         #: audits and tests): the storage engines and the network.
         self.last_stores: Optional[List[StorageEngine]] = None
@@ -421,7 +427,7 @@ class ChaosCluster:
             )
         network = Network(
             sim, config.machines, config.network, tracer=tracer,
-            sanitizer=sanitizer,
+            sanitizer=sanitizer, host=self.host,
         )
         stores = [
             StorageEngine(
@@ -432,6 +438,7 @@ class ChaosCluster:
                 self.backend_factory(m),
                 tracer=tracer,
                 sanitizer=sanitizer,
+                host=self.host,
             )
             for m in range(config.machines)
         ]
@@ -470,6 +477,7 @@ class ChaosCluster:
                 input_bytes_share=per_machine_input,
                 tracer=tracer,
                 sanitizer=sanitizer,
+                host=self.host,
             )
             for m in range(config.machines)
         ]
@@ -583,12 +591,12 @@ class ChaosCluster:
         # One extra endpoint: the failure-detector monitor.
         network = Network(
             sim, config.machines, config.network, tracer=tracer,
-            extra_endpoints=1,
+            host=self.host, extra_endpoints=1,
         )
         stores = [
             StorageEngine(
                 sim, network, m, config.device, self.backend_factory(m),
-                tracer=tracer,
+                tracer=tracer, host=self.host,
             )
             for m in range(config.machines)
         ]
@@ -628,6 +636,7 @@ class ChaosCluster:
                     barrier=barrier,
                     input_bytes_share=per_machine_input,
                     tracer=tracer,
+                    host=self.host,
                     epoch=epoch,
                     preprocess=preprocess,
                     registry=registry,
@@ -736,6 +745,7 @@ def run_algorithm(
     config: Optional[ClusterConfig] = None,
     tracer=None,
     sanitizer=None,
+    host=None,
     fault_plan=None,
     **config_overrides,
 ) -> JobResult:
@@ -748,12 +758,13 @@ def run_algorithm(
     ``sanitizer=repro.analysis.Sanitizer()`` to race-check the run's
     cross-machine shared-state accesses, and
     ``fault_plan=repro.faults.FaultPlan.parse([...])`` to inject machine
-    faults and exercise live recovery.
+    faults and exercise live recovery.  Pass
+    ``host=repro.obs.HostProfiler()`` to measure the real (host) wall
+    and CPU time of each engine phase alongside the simulated spans.
     """
     if config is None:
         config = ClusterConfig(**config_overrides)
     elif config_overrides:
         config = config.with_(**config_overrides)
-    return ChaosCluster(config, tracer=tracer, sanitizer=sanitizer).run(
-        algorithm, edges, fault_plan=fault_plan
-    )
+    cluster = ChaosCluster(config, tracer=tracer, sanitizer=sanitizer, host=host)
+    return cluster.run(algorithm, edges, fault_plan=fault_plan)

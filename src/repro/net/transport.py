@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
 from repro.net.topology import NetworkConfig, Nic, Switch
+from repro.obs.host import resolve_host_profiler
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.resources import Mailbox
 
@@ -60,6 +61,7 @@ class Network:
         config: NetworkConfig,
         tracer=None,
         sanitizer=None,
+        host=None,
         extra_endpoints: int = 0,
     ):
         """``extra_endpoints`` adds management endpoints beyond the
@@ -90,6 +92,9 @@ class Network:
         self._san = (
             sanitizer if sanitizer is not None and sanitizer.enabled else None
         )
+        # Host profiler: real cost of building each in-flight message
+        # (the host-side analogue of the modelled copy cost).
+        self._host = resolve_host_profiler(host)
         self._trace_on = tracer is not None and tracer.enabled
         if self._trace_on:
             from repro.obs.tracer import TID_NIC_RX, TID_NIC_TX
@@ -167,21 +172,22 @@ class Network:
         """
         if not 0 <= dst < len(self.nics):
             raise SimulationError(f"invalid destination machine {dst}")
-        message = Message(
-            src=src,
-            dst=dst,
-            service=service,
-            kind=kind,
-            size=size,
-            payload=payload,
-            send_time=self.sim.now,
-            clock=(
-                self._san.on_send(src, kind)
-                if self._san is not None
-                else None
-            ),
-            epoch=epoch,
-        )
+        with self._host.measure(src, "msg_copy"):
+            message = Message(
+                src=src,
+                dst=dst,
+                service=service,
+                kind=kind,
+                size=size,
+                payload=payload,
+                send_time=self.sim.now,
+                clock=(
+                    self._san.on_send(src, kind)
+                    if self._san is not None
+                    else None
+                ),
+                epoch=epoch,
+            )
         mailbox = self.mailbox(dst, service)
         delivered = Event(self.sim, name=f"deliver.{kind}")
 

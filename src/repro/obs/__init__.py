@@ -48,6 +48,20 @@ from repro.obs.export import (
     write_chrome_trace,
     write_counters_csv,
 )
+from repro.obs.host import (
+    ENGINE_PHASES,
+    HOST_SCHEMA_VERSION,
+    NULL_HOST_PROFILER,
+    HostMetricsRegistry,
+    HostProfiler,
+    NullHostProfiler,
+    check_host_schema,
+    format_host_report,
+    parse_collapsed_stack,
+    to_collapsed_stack,
+    to_prometheus,
+    validate_prometheus,
+)
 from repro.obs.report import (
     RECOVERY_CATEGORIES,
     TraceSummary,
@@ -76,8 +90,14 @@ __all__ = [
     "AttributionError",
     "AttributionReport",
     "CounterRegistry",
+    "ENGINE_PHASES",
+    "HOST_SCHEMA_VERSION",
+    "HostMetricsRegistry",
+    "HostProfiler",
+    "NULL_HOST_PROFILER",
     "NULL_TRACER",
     "NULL_TRACK",
+    "NullHostProfiler",
     "NullTracer",
     "RECOVERY_CATEGORIES",
     "ResourceSampler",
@@ -97,12 +117,18 @@ __all__ = [
     "TraceSummary",
     "Tracer",
     "Track",
+    "check_host_schema",
     "chrome_trace_dict",
     "dumps_chrome_trace",
+    "format_host_report",
     "format_trace_report",
     "load_trace",
+    "parse_collapsed_stack",
     "summarize_trace",
     "summarize_trace_file",
+    "to_collapsed_stack",
+    "to_prometheus",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_counters_csv",
 ]

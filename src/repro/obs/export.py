@@ -24,8 +24,17 @@ from repro.obs.tracer import Tracer
 _US = 1e6
 
 
-def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
-    """Build the Trace Event Format document for a recorded trace."""
+def chrome_trace_dict(
+    tracer: Tracer, host_metrics: Dict[str, Any] = None
+) -> Dict[str, Any]:
+    """Build the Trace Event Format document for a recorded trace.
+
+    ``host_metrics`` (a :meth:`repro.obs.host.HostMetricsRegistry.to_dict`
+    document) is embedded under a top-level ``hostMetrics`` key — viewers
+    ignore unknown keys, and ``trace-report`` renders the sim-to-host
+    skew table from it.  Embedding host data forfeits the byte-identical
+    guarantee below, which is why it is opt-in (``--host-profile``).
+    """
     events: List[Dict[str, Any]] = []
     for pid in sorted(tracer.processes):
         events.append(
@@ -55,19 +64,24 @@ def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
         if event["ph"] == "i":
             event["s"] = "t"  # thread-scoped instant
         events.append(event)
-    return {"displayTimeUnit": "ms", "traceEvents": events}
+    document: Dict[str, Any] = {"displayTimeUnit": "ms", "traceEvents": events}
+    if host_metrics is not None:
+        document["hostMetrics"] = host_metrics
+    return document
 
 
-def dumps_chrome_trace(tracer: Tracer) -> str:
+def dumps_chrome_trace(tracer: Tracer, host_metrics=None) -> str:
     """Serialize deterministically (sorted keys, compact separators)."""
     return json.dumps(
-        chrome_trace_dict(tracer), sort_keys=True, separators=(",", ":")
+        chrome_trace_dict(tracer, host_metrics=host_metrics),
+        sort_keys=True,
+        separators=(",", ":"),
     )
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> int:
+def write_chrome_trace(tracer: Tracer, path: str, host_metrics=None) -> int:
     """Write the trace JSON to ``path``; returns the byte count."""
-    text = dumps_chrome_trace(tracer)
+    text = dumps_chrome_trace(tracer, host_metrics=host_metrics)
     with open(path, "w") as handle:
         handle.write(text)
     return len(text)

@@ -37,6 +37,7 @@ replies are identifiable at the requester too.
 from __future__ import annotations
 
 from repro.net.transport import Network
+from repro.obs.host import resolve_host_profiler
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import FifoServer
 from repro.store.chunk import Chunk, ChunkKind
@@ -62,6 +63,7 @@ class StorageEngine:
         backend,
         tracer=None,
         sanitizer=None,
+        host=None,
     ):
         self.sim = sim
         self.network = network
@@ -77,6 +79,9 @@ class StorageEngine:
         self._san = (
             sanitizer if sanitizer is not None and sanitizer.enabled else None
         )
+        # Host profiler: real wall/CPU cost of chunk (de)serialization
+        # against the backend (``run --host-profile``).
+        self._host = resolve_host_profiler(host)
         self._trace_on = tracer is not None and tracer.enabled
         if self._trace_on:
             from repro.obs.tracer import TID_DEVICE
@@ -234,7 +239,8 @@ class StorageEngine:
                 write=True,
                 label="store.fetch",
             )
-        chunk = self.backend.fetch_any(partition, kind)
+        with self._host.measure(self.machine, "deserialize"):
+            chunk = self.backend.fetch_any(partition, kind)
         if chunk is None:
             self.exhausted_replies += 1
             self._reply(
@@ -285,7 +291,10 @@ class StorageEngine:
                 # device queue: discard instead of resurrecting it.
                 self.stale_dropped += 1
                 return
-            self.backend.append_chunk(chunk)
+            with self._host.measure(
+                self.machine, "serialize", records=chunk.records
+            ):
+                self.backend.append_chunk(chunk)
             self._reply(
                 requester,
                 reply_service,
@@ -299,7 +308,8 @@ class StorageEngine:
 
     def _handle_vread(self, message) -> None:
         request_id, requester, reply_service, partition, index = message.payload
-        chunk = self.backend.get_vertex_chunk(partition, index)
+        with self._host.measure(self.machine, "deserialize"):
+            chunk = self.backend.get_vertex_chunk(partition, index)
         if chunk is None:
             self._reply(
                 requester,
@@ -336,7 +346,8 @@ class StorageEngine:
             if epoch < self.data_epoch:
                 self.stale_dropped += 1
                 return
-            self.backend.put_vertex_chunk(chunk)
+            with self._host.measure(self.machine, "serialize"):
+                self.backend.put_vertex_chunk(chunk)
             self._reply(
                 requester,
                 reply_service,

@@ -42,15 +42,37 @@ def rule_ids(result):
 
 class TestWallClock:
     def test_flags_time_time_in_sim_package(self):
-        result = lint("import time\nt0 = time.time()\n")
+        result = lint("t0 = time.time()\n")
         assert rule_ids(result) == ["CHX001"]
-        assert result.findings[0].line == 2
+        assert result.findings[0].line == 1
+
+    def test_flags_bare_import_time(self):
+        # The import alone is a finding: a module object in scope would
+        # let wall-clock reads sidestep the call check.
+        result = lint("import time\n")
+        assert rule_ids(result) == ["CHX001"]
+        assert "repro.obs.hostclock" in result.findings[0].message
+
+    def test_import_and_call_are_two_findings(self):
+        result = lint("import time\nt0 = time.time()\n")
+        assert rule_ids(result) == ["CHX001", "CHX001"]
+        assert [f.line for f in result.findings] == [1, 2]
+
+    def test_hostclock_module_is_exempt(self):
+        # repro/obs/hostclock.py is the single sanctioned host-clock
+        # entry point; CHX001 skips it by module path.
+        result = lint(
+            "import time\nt0 = time.perf_counter_ns()\n",
+            path="src/repro/obs/hostclock.py",
+        )
+        assert result.clean
 
     @pytest.mark.parametrize(
-        "call", ["time.sleep(1)", "time.perf_counter()", "time.monotonic()"]
+        "call", ["time.sleep(1)", "time.perf_counter()", "time.monotonic()",
+                 "time.perf_counter_ns()", "time.process_time_ns()"]
     )
     def test_flags_other_wall_clock_calls(self, call):
-        result = lint(f"import time\n{call}\n")
+        result = lint(f"{call}\n")
         assert rule_ids(result) == ["CHX001"]
 
     def test_flags_datetime_now(self):
@@ -401,7 +423,6 @@ class TestAdHocTelemetry:
 class TestSuppression:
     def test_matching_id_suppresses(self):
         result = lint(
-            "import time\n"
             "t0 = time.time()  # chaos: ignore[CHX001] profiling shim\n"
         )
         assert result.clean
@@ -410,37 +431,45 @@ class TestSuppression:
 
     def test_wrong_id_does_not_suppress(self):
         result = lint(
-            "import time\nt0 = time.time()  # chaos: ignore[CHX002]\n"
+            "t0 = time.time()  # chaos: ignore[CHX002]\n"
         )
         assert rule_ids(result) == ["CHX001"]
         assert not result.suppressed
 
     def test_multiple_ids(self):
         result = lint(
-            "import time\nimport random\n"
             "x = random.random() + time.time()"
             "  # chaos: ignore[CHX001, CHX002]\n"
         )
         assert result.clean
         assert len(result.suppressed) == 2
 
+    def test_import_needs_its_own_suppression(self):
+        # Suppressing the call does not cover the ``import time`` line:
+        # the import is a separate finding on a separate statement.
+        result = lint(
+            "import time\n"
+            "t0 = time.time()  # chaos: ignore[CHX001] profiling shim\n"
+        )
+        assert rule_ids(result) == ["CHX001"]
+        assert result.findings[0].line == 1
+        assert len(result.suppressed) == 1
+
     def test_comment_on_closing_paren_of_multiline_call(self):
         # The finding reports at the statement's first line; the comment
         # naturally lands on the closing paren.  Span matching bridges it.
         result = lint(
-            "import time\n"
             "t0 = time.time(\n"
             ")  # chaos: ignore[CHX001] host profiling shim\n"
         )
         assert result.clean, result.findings
         assert len(result.suppressed) == 1
-        assert result.suppressed[0].line == 2
+        assert result.suppressed[0].line == 1
 
     def test_comment_mid_span_of_multiline_statement(self):
         # Finding at the statement's first line, comment two lines down
         # inside the same statement span.
         result = lint(
-            "import time\n"
             "total = time.time() + (\n"
             "    1\n"
             ")  # chaos: ignore[CHX001] fixture\n"
@@ -452,13 +481,12 @@ class TestSuppression:
         # A suppression buried in a compound statement's body must not
         # widen to the header: only the header span bridges.
         result = lint(
-            "import time\n"
             "def helper():\n"
             "    x = 1  # chaos: ignore[CHX001] unrelated\n"
             "    return time.time()\n"
         )
         assert rule_ids(result) == ["CHX001"]
-        assert result.findings[0].line == 4
+        assert result.findings[0].line == 3
 
 
 class TestEngine:
@@ -479,7 +507,7 @@ class TestEngine:
     def test_check_paths_walks_directories(self, tmp_path):
         package = tmp_path / "sim"
         package.mkdir()
-        (package / "bad.py").write_text("import time\ntime.time()\n")
+        (package / "bad.py").write_text("time.time()\n")
         (package / "good.py").write_text("x = 1\n")
         result = LintEngine().check_paths([str(tmp_path)])
         assert result.files_checked == 2
@@ -548,7 +576,7 @@ class TestCheckCommand:
     def test_json_format(self, tmp_path, capsys):
         sim = tmp_path / "sim"
         sim.mkdir()
-        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        (sim / "bad.py").write_text("time.time()\n")
         assert main(["check", str(tmp_path), "--format", "json"]) == 1
         document = json.loads(capsys.readouterr().out)
         assert document["count"] == 1
@@ -576,7 +604,6 @@ class TestCheckCommand:
         sim = tmp_path / "sim"
         sim.mkdir()
         (sim / "bad.py").write_text(
-            "import time\n"
             "time.time()\n"
             "time.monotonic()  # chaos: ignore[CHX001] fixture\n"
         )
@@ -587,7 +614,7 @@ class TestCheckCommand:
     def test_stats_in_json_document(self, tmp_path, capsys):
         sim = tmp_path / "sim"
         sim.mkdir()
-        (sim / "bad.py").write_text("import time\ntime.time()\n")
+        (sim / "bad.py").write_text("time.time()\n")
         assert main(["check", str(tmp_path), "--format", "json"]) == 1
         document = json.loads(capsys.readouterr().out)
         assert document["rule_stats"]["CHX001"]["findings"] == 1

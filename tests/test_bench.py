@@ -91,6 +91,31 @@ class TestScenarioExecution:
         second = run_scenario(_tiny_scenario())
         assert first == second
 
+    def test_host_metrics_are_opt_in(self):
+        record = run_scenario(_tiny_scenario())
+        for metric in bench.HOST_METRICS:
+            assert metric not in record
+
+    def test_host_metrics_recorded_when_enabled(self):
+        record = run_scenario(_tiny_scenario(), host=True)
+        for metric in bench.HOST_METRICS:
+            assert record[metric] > 0, metric
+        assert "host_repeats" not in record  # single run: no aggregation
+
+    def test_repeats_take_the_median_host_metric(self):
+        record = run_scenario(_tiny_scenario(), host=True, repeats=3)
+        assert record["host_repeats"] == 3
+        for metric in bench.HOST_METRICS:
+            assert record[metric] > 0, metric
+        # The simulated metrics are untouched by repetition.
+        baseline = run_scenario(_tiny_scenario())
+        for key, value in baseline.items():
+            assert record[key] == value, key
+
+    def test_repeats_below_one_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario(_tiny_scenario(), host=True, repeats=0)
+
     def test_unknown_scenario_name_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             run_scenarios(["nope"])
@@ -185,6 +210,55 @@ class TestCompare:
         with pytest.raises(ValueError, match="schema mismatch"):
             compare_snapshots(_snapshot(), new)
 
+    def test_v1_baseline_compares_against_v2(self):
+        # The one sanctioned upgrade pair: v1 snapshots predate the host
+        # metrics, so a v1-vs-v2 diff notes the upgrade and skips them.
+        base = _snapshot()
+        base["schema_version"] = 1
+        new = _snapshot(host_wall_seconds=0.5, host_cpu_seconds=0.4,
+                        edges_per_sec=1e6)
+        comparison = compare_snapshots(base, new)
+        assert comparison.ok
+        assert any("schema upgrade" in n for n in comparison.notes)
+
+    def test_reverse_schema_pair_still_raises(self):
+        base = _snapshot()
+        new = _snapshot()
+        new["schema_version"] = 1
+        with pytest.raises(ValueError, match="schema mismatch"):
+            compare_snapshots(base, new)
+
+    def test_host_drift_is_warn_only_by_default(self):
+        base = _snapshot(host_wall_seconds=0.1)
+        new = _snapshot(host_wall_seconds=0.5)  # 5x: way past tolerance
+        comparison = compare_snapshots(base, new)
+        assert comparison.ok
+        assert any("warn-only" in n for n in comparison.notes)
+
+    def test_baseline_host_tolerances_gate(self):
+        base = _snapshot(host_wall_seconds=0.1)
+        base["host_tolerances"] = {"host_wall_seconds": 0.5}
+        new = _snapshot(host_wall_seconds=0.5)
+        comparison = compare_snapshots(base, new)
+        assert not comparison.ok
+        assert any("host_wall_seconds" in r for r in comparison.regressions)
+
+    def test_tolerance_override_gates_host_metric(self):
+        base = _snapshot(edges_per_sec=1e6)
+        new = _snapshot(edges_per_sec=1e5)  # 10x slower
+        assert compare_snapshots(base, new).ok  # warn-only
+        gated = compare_snapshots(
+            base, new, tolerances={"edges_per_sec": 0.5}
+        )
+        assert not gated.ok
+
+    def test_host_drift_within_tolerance_is_quiet(self):
+        base = _snapshot(host_wall_seconds=0.10)
+        new = _snapshot(host_wall_seconds=0.12)  # +20% < 50% tolerance
+        comparison = compare_snapshots(base, new)
+        assert comparison.ok
+        assert not any("host_wall_seconds" in n for n in comparison.notes)
+
     def test_tolerance_override(self):
         base, new = _snapshot(), _snapshot(runtime=1.04)
         assert compare_snapshots(base, new).ok
@@ -245,6 +319,38 @@ class TestBenchCli:
                 ["bench", "--compare", base, base, "--tolerance", "bogus=0.1"]
             )
 
+    def test_repeats_with_list_exits_2(self, capsys):
+        assert main(["bench", "--list", "--repeats", "3"]) == 2
+        assert "--repeats only applies" in capsys.readouterr().err
+
+    def test_repeats_with_compare_exits_2(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        write_snapshot(_snapshot(), base)
+        code = main(["bench", "--compare", base, base, "--repeats", "3"])
+        assert code == 2
+        assert "--repeats only applies" in capsys.readouterr().err
+
+    def test_repeats_below_one_exits_2(self, capsys):
+        assert main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats must be >= 1" in capsys.readouterr().err
+
+    def test_host_with_compare_rejected(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        write_snapshot(_snapshot(), base)
+        with pytest.raises(SystemExit, match="--host"):
+            main(["bench", "--compare", base, base, "--host"])
+
+    def test_run_with_host_records_host_metrics(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_h.json")
+        code = main(
+            ["bench", "--label", "h", "--scenario", "pr_m2", "--host",
+             "--repeats", "1", "--out", out]
+        )
+        assert code == 0
+        record = load_snapshot(out)["scenarios"]["pr_m2"]
+        for metric in bench.HOST_METRICS:
+            assert record[metric] > 0, metric
+
     def test_run_writes_snapshot(self, tmp_path, capsys):
         out = str(tmp_path / "BENCH_t.json")
         code = main(
@@ -285,3 +391,7 @@ class TestCommittedBaseline:
         assert sorted(baseline["scenarios"]) == sorted(scenario_names())
         for name, record in baseline["scenarios"].items():
             assert record["closure_error"] <= bench.CLOSURE_LIMIT, name
+            # v2 baselines carry host metrics (median of 3 repeats).
+            for metric in bench.HOST_METRICS:
+                assert record[metric] > 0, (name, metric)
+            assert record["host_repeats"] >= 3, name

@@ -19,6 +19,14 @@ deterministic function of ``(config, seed)``:
     ``chaos-repro run --sanitize``.
 """
 
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    baseline_stats,
+    fingerprint,
+    load_baseline,
+    split_new,
+    write_baseline,
+)
 from repro.analysis.findings import (
     Finding,
     format_github,
@@ -26,12 +34,19 @@ from repro.analysis.findings import (
     format_text,
 )
 from repro.analysis.lint import FileContext, LintEngine, LintResult, Rule
-from repro.analysis.rules import DEFAULT_RULES, default_rules
+from repro.analysis.rules import DEFAULT_RULES, default_rules, full_rule_table
 from repro.analysis.sanitizer import Race, RaceAccess, Sanitizer
 
 __all__ = [
+    "BASELINE_VERSION",
     "DEFAULT_RULES",
+    "baseline_stats",
     "default_rules",
+    "fingerprint",
+    "full_rule_table",
+    "load_baseline",
+    "split_new",
+    "write_baseline",
     "FileContext",
     "Finding",
     "format_github",

@@ -21,6 +21,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.flow.callgraph import CallGraph
 from repro.analysis.flow.project import ProjectIndex
 from repro.analysis.flow.rules import (
+    ANALYZER_VERSION,
     DeepContext,
     DeepRule,
     RaceCandidate,
@@ -61,9 +62,16 @@ def _collect_files(paths: Iterable[str]) -> List[Path]:
 
 
 def source_tree_hash(paths: Iterable[str]) -> str:
-    """Stable hash over every analyzed ``(path, content)`` pair."""
+    """Stable hash over every analyzed ``(path, content)`` pair.
+
+    The key also carries the index-layout version *and* the deep
+    analyzer's rule-logic version (:data:`ANALYZER_VERSION`): a rule
+    change must invalidate cached results even when the analyzed
+    sources are byte-identical, or ``.chaos-cache`` in CI would keep
+    serving findings computed by the old rules.
+    """
     digest = hashlib.sha256()
-    digest.update(f"v{_CACHE_VERSION}".encode())
+    digest.update(f"v{_CACHE_VERSION}.a{ANALYZER_VERSION}".encode())
     for path in _collect_files(paths):
         digest.update(str(path).encode())
         digest.update(b"\0")

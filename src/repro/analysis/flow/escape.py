@@ -1,0 +1,385 @@
+"""Escape analysis for the would-be process boundary.
+
+ROADMAP item 2 replaces the single-process machine emulation with real
+worker processes.  Today every :class:`ComputationEngine` instance
+lives in one interpreter, so nothing stops an engine from holding a
+lambda, sharing a mutable ``dict`` with its neighbours, or reading a
+module-level cache — all of which break the moment a machine becomes a
+separate process (unpicklable state can't cross ``fork``/``spawn``
+boundaries; aliased mutable state silently stops being shared).
+
+This module finds that state *statically*:
+
+* :func:`per_machine_classes` — the classes that model one emulated
+  machine (their ``__init__`` takes a ``machine`` identity parameter).
+* :func:`unpicklable_captures` — attributes of such a class bound to
+  values ``pickle`` rejects (lambdas, generators, open files).
+* :func:`aliased_constructions` — loop/comprehension construction
+  sites where several machines' instances receive the *same* object
+  (an argument that does not depend on the loop variable), i.e. state
+  that aliases another machine's today and won't tomorrow.
+* :func:`shared_mutable_globals` — module-level mutable containers in
+  sim packages reachable from per-machine call graphs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    attr_chain,
+    dump_expr,
+)
+from repro.analysis.lint import SIM_PACKAGES
+
+#: Module-level calls that build a fresh mutable container.
+_MUTABLE_FACTORY_CALLS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def _module_is_sim(module_name: str) -> bool:
+    return any(part in SIM_PACKAGES for part in module_name.split("."))
+
+
+def per_machine_classes(index: ProjectIndex) -> Dict[str, ClassInfo]:
+    """Sim-package classes whose ``__init__`` takes a ``machine`` id.
+
+    These are the classes that become one-per-worker-process under the
+    real-process backend; their captured state is exactly the state
+    that must serialize and must not alias.
+    """
+    out: Dict[str, ClassInfo] = {}
+    for qualname, cls_info in sorted(index.classes.items()):
+        if not _module_is_sim(cls_info.module):
+            continue
+        init = cls_info.methods.get("__init__")
+        if init is None:
+            continue
+        arg_names = {a.arg for a in init.node.args.args} | {
+            a.arg for a in init.node.args.kwonlyargs
+        }
+        if "machine" in arg_names:
+            out[qualname] = cls_info
+    return out
+
+
+# ---------------------------------------------------------------------------
+# unpicklable captures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnpicklableCapture:
+    """``self.<attr> = <value pickle rejects>`` in a per-machine class."""
+
+    cls: str  # class qualname
+    attr: str
+    file: str
+    line: int
+    reason: str
+
+
+def _unpicklable_reason(
+    value: ast.expr, module: ModuleInfo, index: ProjectIndex
+) -> Optional[str]:
+    if isinstance(value, ast.Lambda):
+        return "a lambda (pickle rejects function objects defined inline)"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression (generators cannot be pickled)"
+    if isinstance(value, ast.Call):
+        chain = attr_chain(value.func)
+        if chain is None:
+            return None
+        if chain == ["open"]:
+            return "an open file handle (file objects cannot be pickled)"
+        resolved = index.resolve_chain_in(module, chain)
+        if isinstance(resolved, FunctionInfo) and resolved.is_generator:
+            return (
+                f"a running generator ('{resolved.qualname}' is a "
+                f"generator function; generators cannot be pickled)"
+            )
+    return None
+
+
+def unpicklable_captures(index: ProjectIndex) -> List[UnpicklableCapture]:
+    captures: List[UnpicklableCapture] = []
+    for qualname, cls_info in sorted(per_machine_classes(index).items()):
+        module = index.modules.get(cls_info.module)
+        if module is None:
+            continue
+        init = cls_info.methods["__init__"]
+        nested_defs = {
+            child.name
+            for child in ast.walk(init.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not init.node
+        }
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            chain = attr_chain(target)
+            if chain is None or len(chain) != 2 or chain[0] != "self":
+                continue
+            reason = _unpicklable_reason(stmt.value, module, index)
+            if reason is None and isinstance(stmt.value, ast.Name) and (
+                stmt.value.id in nested_defs
+            ):
+                reason = (
+                    f"a nested function ('{stmt.value.id}' is defined "
+                    f"inside __init__; pickle rejects local functions)"
+                )
+            if reason is not None:
+                captures.append(
+                    UnpicklableCapture(
+                        cls=qualname,
+                        attr=chain[1],
+                        file=cls_info.file,
+                        line=stmt.lineno,
+                        reason=reason,
+                    )
+                )
+    captures.sort(key=lambda c: (c.file, c.line, c.attr))
+    return captures
+
+
+# ---------------------------------------------------------------------------
+# aliased construction sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AliasedConstruction:
+    """One per-machine instance built in a loop with shared arguments."""
+
+    cls: str  # constructed class qualname
+    file: str
+    line: int
+    caller: str  # enclosing function qualname
+    shared: Tuple[str, ...]  # argument expressions every instance aliases
+
+
+def _iteration_calls(
+    func_node: ast.AST,
+) -> Iterator[Tuple[ast.Call, Set[str]]]:
+    """Calls executed once per loop/comprehension iteration, with the
+    iteration variables in scope at the call."""
+    stack: List[Tuple[ast.AST, frozenset]] = [(func_node, frozenset())]
+    while stack:
+        node, loop_vars = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and node is not func_node:
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            inner = loop_vars | {
+                n.id
+                for n in ast.walk(node.target)
+                if isinstance(n, ast.Name)
+            }
+            for child in node.body + node.orelse:
+                stack.append((child, frozenset(inner)))
+            stack.append((node.iter, loop_vars))
+            continue
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = set(loop_vars)
+            for gen in node.generators:
+                stack.append((gen.iter, frozenset(inner)))
+                inner |= {
+                    n.id
+                    for n in ast.walk(gen.target)
+                    if isinstance(n, ast.Name)
+                }
+                for cond in gen.ifs:
+                    stack.append((cond, frozenset(inner)))
+            elts = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            for elt in elts:
+                stack.append((elt, frozenset(inner)))
+            continue
+        if isinstance(node, ast.Call) and loop_vars:
+            yield node, set(loop_vars)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, loop_vars))
+
+
+def _shared_args(call: ast.Call, loop_vars: Set[str]) -> List[str]:
+    """Argument expressions that are identical across loop iterations
+    and plausibly mutable (names/attribute chains, not literals)."""
+    shared: List[str] = []
+    args: List[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+    for arg in args:
+        if isinstance(arg, ast.Starred):
+            arg = arg.value
+        chain = attr_chain(arg)
+        if chain is None:
+            continue  # literals, subscripts, calls: not a stable alias
+        if chain[0] in loop_vars:
+            continue  # varies per iteration
+        if chain[0] in ("self", "cls") and len(chain) == 1:
+            continue
+        shared.append(".".join(chain))
+    return shared
+
+
+def aliased_constructions(
+    index: ProjectIndex, graph: CallGraph
+) -> List[AliasedConstruction]:
+    machine_classes = per_machine_classes(index)
+    if not machine_classes:
+        return []
+    init_to_class = {
+        cls_info.methods["__init__"].qualname: qualname
+        for qualname, cls_info in machine_classes.items()
+    }
+    out: List[AliasedConstruction] = []
+    for func in index.iter_functions():
+        site_of = {
+            id(site.node): site for site in graph.call_sites_in(func.qualname)
+        }
+        for call, loop_vars in _iteration_calls(func.node):
+            site = site_of.get(id(call))
+            if site is None or site.kind != "direct":
+                continue
+            target_cls = None
+            for target in site.targets:
+                if target in init_to_class:
+                    target_cls = init_to_class[target]
+                    break
+            if target_cls is None:
+                continue
+            shared = _shared_args(call, loop_vars)
+            if not shared:
+                continue
+            out.append(
+                AliasedConstruction(
+                    cls=target_cls,
+                    file=func.file,
+                    line=call.lineno,
+                    caller=func.qualname,
+                    shared=tuple(shared),
+                )
+            )
+    out.sort(key=lambda c: (c.file, c.line))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shared mutable module-level state
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedGlobal:
+    """A module-level mutable container on a per-machine call path."""
+
+    name: str  # bare global name
+    module: str
+    file: str
+    line: int
+    via: str  # one reachable function that reads it
+
+
+def _mutable_global_defs(module: ModuleInfo) -> Iterator[Tuple[str, int]]:
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name) or target.id.startswith("__"):
+            continue
+        value = stmt.value
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            yield target.id, stmt.lineno
+        elif isinstance(value, ast.Call):
+            chain = attr_chain(value.func)
+            if chain is not None and chain[-1] in _MUTABLE_FACTORY_CALLS:
+                yield target.id, stmt.lineno
+
+
+def _reads_global(
+    func: FunctionInfo, module_name: str, global_name: str, index: ProjectIndex
+) -> bool:
+    func_module = index.modules.get(func.module)
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id == global_name and func.module == module_name:
+                return True
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            chain = attr_chain(node)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[1] == global_name
+                and func_module is not None
+                and func_module.imports.get(chain[0]) == module_name
+            ):
+                return True
+    return False
+
+
+def shared_mutable_globals(
+    index: ProjectIndex, graph: CallGraph
+) -> List[SharedGlobal]:
+    """Mutable module globals reachable from per-machine call graphs.
+
+    Every per-machine class is instantiated once per emulated machine,
+    so anything its methods (transitively) read from module scope is
+    read by *all* machines — shared state the process backend must
+    either pass explicitly or freeze.
+    """
+    machine_classes = per_machine_classes(index)
+    if not machine_classes:
+        return []
+    reachable: Set[str] = set()
+    for cls_info in machine_classes.values():
+        for method in cls_info.methods.values():
+            reachable |= graph.reachable(method.qualname)
+
+    out: List[SharedGlobal] = []
+    for module in sorted(index.modules.values(), key=lambda m: m.file):
+        if not _module_is_sim(module.name):
+            continue
+        for global_name, line in _mutable_global_defs(module):
+            via = None
+            for qualname in sorted(reachable):
+                func = index.functions.get(qualname)
+                if func is None:
+                    continue
+                if _reads_global(func, module.name, global_name, index):
+                    via = qualname
+                    break
+            if via is not None:
+                out.append(
+                    SharedGlobal(
+                        name=global_name,
+                        module=module.name,
+                        file=module.file,
+                        line=line,
+                        via=via,
+                    )
+                )
+    out.sort(key=lambda g: (g.file, g.line))
+    return out
+
+
+__all__ = [
+    "AliasedConstruction",
+    "SharedGlobal",
+    "UnpicklableCapture",
+    "aliased_constructions",
+    "per_machine_classes",
+    "shared_mutable_globals",
+    "unpicklable_captures",
+]

@@ -1,0 +1,358 @@
+"""The kernel worklist: static vectorizability × measured host skew.
+
+``check --kernel-report`` fuses the two halves this PR and PR 6 built:
+
+* the *static* half classifies every (algorithm, phase) kernel body —
+  each :class:`~repro.core.gas.GasAlgorithm` subclass's ``scatter`` /
+  ``gather`` / ``apply``, plus the shared Workload streaming kernels —
+  as ``elementwise`` / ``segmented-reduction`` / ``sequential`` via the
+  loop dependence analysis (:mod:`repro.analysis.flow.loops`);
+* the *measured* half joins a ``run --host-profile`` JSON export (the
+  PR 6 host metrics document) on the phase name, yielding each phase's
+  share of real host CPU.
+
+Ranking ``host_cpu_share × vectorizable`` puts the kernels that are
+both *hot* and *ready* (no sequential dependence) at the top — the
+standing work-queue the vectorization PRs burn down and re-verify.
+The JSON form round-trips through :func:`check_kernel_report_schema`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.loops import (
+    SEQUENTIAL,
+    VECTOR_FACTOR,
+    classify_function,
+)
+from repro.analysis.flow.project import ClassInfo, FunctionInfo, ProjectIndex
+
+#: Version of the kernel-report JSON document.
+KERNEL_REPORT_VERSION = 1
+
+#: The GAS phases the static table covers (matches the host profiler's
+#: ``GAS_HOST_PHASES`` — the join key of the fused report).
+KERNEL_PHASES = ("scatter", "gather", "apply")
+
+#: Shared streaming kernels that run inside each host phase alongside
+#: the per-algorithm user function: (workload method name, phase).
+_WORKLOAD_KERNELS = (
+    ("scatter_chunk", "scatter"),
+    ("gather_chunk", "gather"),
+    ("apply_partition", "apply"),
+)
+
+
+def gas_algorithm_classes(index: ProjectIndex) -> List[ClassInfo]:
+    """Every project class that (transitively) extends GasAlgorithm."""
+
+    def is_gas(cls_info: ClassInfo, seen: frozenset) -> bool:
+        if cls_info.qualname in seen:
+            return False
+        seen = seen | {cls_info.qualname}
+        module = index.modules.get(cls_info.module)
+        for chain in cls_info.base_chains:
+            if chain[-1] == "GasAlgorithm":
+                return True
+            if module is None:
+                continue
+            base = index.resolve_chain_in(module, chain)
+            if isinstance(base, ClassInfo) and is_gas(base, seen):
+                return True
+        return False
+
+    out = [
+        cls_info
+        for _qual, cls_info in sorted(index.classes.items())
+        if is_gas(cls_info, frozenset())
+    ]
+    return out
+
+
+def _algorithm_name(cls_info: ClassInfo) -> str:
+    """The runtime algorithm name: the class-level ``name`` constant
+    when present (the host profiler records runs under it), else the
+    lowercased class name."""
+    for stmt in cls_info.node.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                return stmt.value.value
+    return cls_info.name.lower()
+
+
+def phase_cpu_shares(host_doc: dict) -> Dict[str, float]:
+    """Each GAS phase's share of measured host CPU, from a host
+    metrics JSON document (``run --host-profile --host-json``)."""
+    by_phase = host_doc.get("totals", {}).get("by_phase", {})
+    total = sum(
+        by_phase.get(phase, {}).get("cpu_seconds", 0.0)
+        for phase in KERNEL_PHASES
+    )
+    if total <= 0:
+        return {}
+    return {
+        phase: by_phase[phase]["cpu_seconds"] / total
+        for phase in KERNEL_PHASES
+        if phase in by_phase
+    }
+
+
+def _classify_row(func: FunctionInfo) -> Tuple[str, int, List[str]]:
+    """(classification, loop count, sequential dependence names)."""
+    classification, infos = classify_function(func)
+    sequential_deps = sorted(
+        {
+            dep.name
+            for info in infos
+            if info.classification == SEQUENTIAL
+            for dep in info.carried
+            if dep.kind == "sequential"
+        }
+    )
+    return classification, len(infos), sequential_deps
+
+
+def build_kernel_report(
+    paths: Sequence[str],
+    host_doc: Optional[dict] = None,
+    host_source: Optional[str] = None,
+    index: Optional[ProjectIndex] = None,
+) -> dict:
+    """The kernel-report document: one row per (algorithm, phase)."""
+    if index is None:
+        index = ProjectIndex.build(paths)
+
+    shares = phase_cpu_shares(host_doc) if host_doc else {}
+    job = (host_doc or {}).get("job") or {}
+    host_algorithm = job.get("algorithm")
+
+    rows: List[dict] = []
+
+    def add_row(algorithm: str, phase: str, func: FunctionInfo) -> None:
+        classification, loops, sequential_deps = _classify_row(func)
+        vectorizable = VECTOR_FACTOR[classification]
+        share = shares.get(phase)
+        if share is not None and host_algorithm is not None and (
+            algorithm not in (host_algorithm, "*")
+        ):
+            # The profile measured one algorithm; other algorithms'
+            # rows keep their static class but no measured share.
+            share = None
+        row = {
+            "algorithm": algorithm,
+            "phase": phase,
+            "kernel": func.qualname,
+            "file": func.file,
+            "line": func.line,
+            "classification": classification,
+            "vectorizable": vectorizable,
+            "loops": loops,
+            "sequential_deps": sequential_deps,
+            "host_cpu_share": share,
+            "score": (share * vectorizable) if share is not None else None,
+        }
+        rows.append(row)
+
+    for cls_info in gas_algorithm_classes(index):
+        algorithm = _algorithm_name(cls_info)
+        for phase in KERNEL_PHASES:
+            method = index.resolve_method(cls_info, phase)
+            if method is None or method.class_name != cls_info.name:
+                continue  # inherited: reported on the defining class
+            add_row(algorithm, phase, method)
+
+    # The shared streaming kernels run for *every* algorithm ("*").
+    for method_name, phase in _WORKLOAD_KERNELS:
+        for func in sorted(
+            index.methods_by_name.get(method_name, ()),
+            key=lambda f: (f.file, f.line),
+        ):
+            if "core" not in func.module.split("."):
+                continue
+            add_row("*", phase, func)
+
+    rows.sort(
+        key=lambda r: (
+            -(r["score"] if r["score"] is not None else -1.0),
+            -(r["host_cpu_share"] if r["host_cpu_share"] is not None else 0.0),
+            -r["vectorizable"],
+            r["algorithm"],
+            r["phase"],
+        )
+    )
+    for rank, row in enumerate(rows, start=1):
+        row["rank"] = rank
+
+    doc = {
+        "kernel_report_version": KERNEL_REPORT_VERSION,
+        "paths": list(paths),
+        "host": (
+            {
+                "source": host_source,
+                "algorithm": host_algorithm,
+                "machines": job.get("machines"),
+                "phase_cpu_shares": shares,
+            }
+            if host_doc is not None
+            else None
+        ),
+        "rows": rows,
+    }
+    return doc
+
+
+# -- schema --------------------------------------------------------------
+
+_SCHEMA_TOP = (
+    ("kernel_report_version", int),
+    ("paths", list),
+    ("rows", list),
+)
+_SCHEMA_ROW = (
+    ("algorithm", str),
+    ("phase", str),
+    ("kernel", str),
+    ("file", str),
+    ("line", int),
+    ("classification", str),
+    ("vectorizable", (int, float)),
+    ("loops", int),
+    ("sequential_deps", list),
+    ("host_cpu_share", (int, float, type(None))),
+    ("score", (int, float, type(None))),
+    ("rank", int),
+)
+
+_CLASSES = frozenset(VECTOR_FACTOR)
+
+
+def check_kernel_report_schema(doc: dict) -> List[str]:
+    """Schema-check a kernel-report document; returns error strings."""
+    errors: List[str] = []
+    for key, kind in _SCHEMA_TOP:
+        if key not in doc:
+            errors.append(f"missing top-level key: {key}")
+        elif not isinstance(doc[key], kind):
+            errors.append(f"{key}: expected {kind}, got {type(doc[key])}")
+    if errors:
+        return errors
+    if doc["kernel_report_version"] != KERNEL_REPORT_VERSION:
+        errors.append(
+            f"kernel_report_version {doc['kernel_report_version']} != "
+            f"{KERNEL_REPORT_VERSION}"
+        )
+    if "host" in doc and doc["host"] is not None and not isinstance(
+        doc["host"], dict
+    ):
+        errors.append("host: expected dict or null")
+    for i, row in enumerate(doc["rows"]):
+        for key, kind in _SCHEMA_ROW:
+            if key not in row:
+                errors.append(f"rows[{i}]: missing {key}")
+            elif not isinstance(row[key], kind):
+                errors.append(f"rows[{i}].{key}: bad type")
+        if row.get("classification") not in _CLASSES:
+            errors.append(
+                f"rows[{i}].classification: unknown class "
+                f"{row.get('classification')!r}"
+            )
+    return errors
+
+
+# -- rendering -----------------------------------------------------------
+
+
+def format_kernel_report(doc: dict, top: int = 5) -> str:
+    """Human-readable kernel worklist table."""
+    lines: List[str] = []
+    host = doc.get("host")
+    if host is not None:
+        shares = ", ".join(
+            f"{phase}={share:.1%}"
+            for phase, share in sorted(host["phase_cpu_shares"].items())
+        )
+        source = host.get("source") or "host profile"
+        algo = host.get("algorithm") or "?"
+        lines.append(
+            f"kernel worklist (static class x host CPU share from "
+            f"{source}; algorithm={algo}; {shares})"
+        )
+    else:
+        lines.append(
+            "kernel worklist (static classes only; add --host-json for "
+            "measured host CPU shares and scores)"
+        )
+    header = (
+        f"  {'rank':>4s} {'algorithm':<12s} {'phase':<8s} "
+        f"{'class':<20s} {'vec':>5s} {'cpu%':>7s} {'score':>7s}  kernel"
+    )
+    lines.append(header)
+    for row in doc["rows"]:
+        share = (
+            f"{row['host_cpu_share']:7.1%}"
+            if row["host_cpu_share"] is not None
+            else f"{'-':>7s}"
+        )
+        score = (
+            f"{row['score']:7.3f}" if row["score"] is not None else f"{'-':>7s}"
+        )
+        lines.append(
+            f"  {row['rank']:>4d} {row['algorithm']:<12s} "
+            f"{row['phase']:<8s} {row['classification']:<20s} "
+            f"{row['vectorizable']:5.2f} {share} {score}  "
+            f"{row['kernel']}"
+        )
+    scored = [r for r in doc["rows"] if r["score"] is not None]
+    if scored:
+        lines.append("")
+        lines.append("top vectorization targets (rank = cpu share x "
+                     "vectorizability):")
+        for row in scored[:top]:
+            blockers = (
+                f"; sequential deps: {', '.join(row['sequential_deps'])}"
+                if row["sequential_deps"]
+                else ""
+            )
+            lines.append(
+                f"  {row['rank']}. {row['algorithm']}/{row['phase']} "
+                f"({row['classification']}, score {row['score']:.3f})"
+                f"{blockers}"
+            )
+    sequential = [
+        r for r in doc["rows"] if r["classification"] == SEQUENTIAL
+    ]
+    if sequential:
+        lines.append("")
+        lines.append("blocked (sequential dependence; restructure first):")
+        for row in sequential:
+            lines.append(
+                f"  {row['algorithm']}/{row['phase']} {row['kernel']} "
+                f"({', '.join(row['sequential_deps']) or 'unclassified'})"
+            )
+    return "\n".join(lines)
+
+
+def load_host_doc(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "KERNEL_PHASES",
+    "KERNEL_REPORT_VERSION",
+    "build_kernel_report",
+    "check_kernel_report_schema",
+    "format_kernel_report",
+    "gas_algorithm_classes",
+    "load_host_doc",
+    "phase_cpu_shares",
+]

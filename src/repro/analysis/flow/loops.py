@@ -1,0 +1,643 @@
+"""Loop-level dependence analysis over the edge hot loops.
+
+The vectorization arc (ROADMAP item 1) rewrites the per-edge hot path
+— the ``scatter_chunk`` / ``gather_chunk`` / ``apply_partition`` bodies
+and the GAS user functions — into whole-chunk numpy operations.  Before
+rewriting, this module answers the two questions that decide whether a
+loop *can* be vectorized:
+
+* Does any value flow from one iteration to the next (a loop-carried
+  dependence), and if so, is it a reduction (vectorizable with
+  ``np.add.at``-style segmented operations) or genuinely sequential?
+* Which objects allocated per iteration escape the loop (so a columnar
+  rewrite must materialize them as arrays rather than drop them)?
+
+Every ``for`` loop in a hot kernel function becomes a :class:`LoopInfo`
+with a three-way classification:
+
+``elementwise``
+    No loop-carried dependence: each iteration writes only fresh
+    temporaries or elements indexed by the loop variable.  Directly
+    vectorizable.
+``segmented-reduction``
+    The only carried dependences are reduction-style (``acc += e``,
+    ``acc = min(acc, e)``, ``out.append(e)``, ``hist[key] += e``).
+    Vectorizable with sort/segment or ``np.ufunc.at`` machinery.
+``sequential``
+    At least one carried dependence is order-sensitive (a value
+    computed in iteration *i* feeds iteration *i+1* through something
+    other than a reduction).  Blocks vectorization outright.
+
+The classification is deliberately conservative in the *sequential*
+direction: an unrecognized write pattern demotes the loop rather than
+promoting it, so CHX013 findings are the loops a columnar rewrite must
+restructure first.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.project import (
+    FunctionInfo,
+    ProjectIndex,
+    attr_chain,
+    dump_expr,
+)
+from repro.analysis.lint import SIM_PACKAGES
+
+#: The edge-kernel function names the engines dispatch through: the
+#: Workload streaming interface plus the GAS user functions they call.
+HOT_FUNCTION_NAMES = frozenset(
+    {
+        "scatter_chunk",
+        "gather_chunk",
+        "apply_partition",
+        "merge_accumulators",
+        "scatter",
+        "gather",
+        "apply",
+        "merge",
+    }
+)
+
+#: Packages whose hot kernels the loop rules inspect (the simulated
+#: engine packages plus the user algorithms they drive).
+HOT_PACKAGES = SIM_PACKAGES | frozenset({"algorithms"})
+
+ELEMENTWISE = "elementwise"
+SEGMENTED = "segmented-reduction"
+SEQUENTIAL = "sequential"
+
+#: Classification -> vectorizability factor for the kernel worklist
+#: (elementwise loops vectorize directly; segmented reductions need
+#: sort/segment or ``ufunc.at`` machinery; sequential loops block).
+VECTOR_FACTOR = {ELEMENTWISE: 1.0, SEGMENTED: 0.7, SEQUENTIAL: 0.0}
+
+_SEVERITY = {ELEMENTWISE: 0, SEGMENTED: 1, SEQUENTIAL: 2}
+
+#: Builtin calls that allocate a fresh container per call.
+_ALLOCATOR_CALLS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+#: Reduction-style container mutations (append-reductions).
+_REDUCTION_METHODS = frozenset({"append", "add", "extend", "update", "insert"})
+
+#: ``x = f(x, e)`` reduction combiners.
+_REDUCTION_COMBINERS = frozenset({"min", "max"})
+
+
+@dataclass(frozen=True)
+class CarriedDep:
+    """One loop-carried dependence: ``name`` flows across iterations."""
+
+    name: str
+    line: int
+    kind: str  # "reduction" | "sequential"
+    detail: str
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One per-iteration Python object allocation inside the loop."""
+
+    line: int
+    expr: str
+    escapes: bool  # stored beyond the iteration (outer container/attr)
+
+
+@dataclass(frozen=True)
+class HoistableAttr:
+    """A loop-invariant attribute chain read repeatedly in the body."""
+
+    line: int
+    chain: str
+    reads: int
+
+
+@dataclass
+class LoopInfo:
+    """Dependence summary of one ``for`` loop in a hot kernel."""
+
+    function: str  # enclosing function qualname
+    file: str
+    line: int
+    targets: Tuple[str, ...]
+    carried: List[CarriedDep] = field(default_factory=list)
+    allocations: List[Allocation] = field(default_factory=list)
+    hoistable: List[HoistableAttr] = field(default_factory=list)
+
+    @property
+    def classification(self) -> str:
+        if any(dep.kind == "sequential" for dep in self.carried):
+            return SEQUENTIAL
+        if self.carried:
+            return SEGMENTED
+        return ELEMENTWISE
+
+
+def is_hot_function(func: FunctionInfo) -> bool:
+    """Whether ``func`` is an edge kernel the loop rules inspect."""
+    if func.name not in HOT_FUNCTION_NAMES:
+        return False
+    return any(part in HOT_PACKAGES for part in func.module.split("."))
+
+
+def hot_functions(index: ProjectIndex) -> List[FunctionInfo]:
+    return sorted(
+        (f for f in index.iter_functions() if is_hot_function(f)),
+        key=lambda f: (f.file, f.line),
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-loop analysis
+# ---------------------------------------------------------------------------
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _names_read(node: ast.AST) -> Iterator[Tuple[str, int]]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            yield sub.id, sub.lineno
+
+
+def _is_reduction_rhs(name: str, value: ast.expr) -> bool:
+    """``name = <value>`` where value folds name with new data."""
+    if isinstance(value, ast.BinOp):
+        return any(
+            isinstance(side, ast.Name) and side.id == name
+            for side in (value.left, value.right)
+        )
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _REDUCTION_COMBINERS:
+            return any(
+                isinstance(arg, ast.Name) and arg.id == name
+                for arg in value.args
+            )
+    return False
+
+
+def _index_is_loop_local(index_expr: ast.expr, distinct_vars: Set[str]) -> bool:
+    """Whether a subscript index is derived purely from *injective* loop
+    variables (a distinct element per iteration: an elementwise write).
+
+    Only counters are injective — ``for i in range(n)`` and the first
+    target of ``for i, e in enumerate(xs)``.  Data unpacked from the
+    iterable (``for src, dst in edges``) can repeat, so ``out[dst]``
+    stays a data-dependent destination."""
+    names = {name for name, _line in _names_read(index_expr)}
+    return bool(names) and names <= distinct_vars
+
+
+def _distinct_loop_vars(loop: ast.For) -> Set[str]:
+    """The loop targets guaranteed distinct per iteration."""
+    it = loop.iter
+    if isinstance(it, ast.Call) and isinstance(it.func, ast.Name):
+        if it.func.id == "range":
+            return _target_names(loop.target)
+        if it.func.id == "enumerate":
+            if isinstance(loop.target, (ast.Tuple, ast.List)) and (
+                loop.target.elts
+            ):
+                return _target_names(loop.target.elts[0])
+    return set()
+
+
+class _LoopWalker:
+    """Linear scan of one loop body collecting dependence evidence.
+
+    Statements are visited in source order (descending into nested
+    if/try/with — and nested loops, whose effects are also the outer
+    loop's effects).  Nested function definitions are separate scopes
+    and are skipped.
+    """
+
+    def __init__(
+        self,
+        loop_vars: Set[str],
+        distinct_vars: Set[str],
+        class_resolver: Optional[Callable[[ast.Call], bool]] = None,
+    ):
+        self.loop_vars = loop_vars
+        self.distinct_vars = distinct_vars
+        self.class_resolver = class_resolver
+        self.carried: Dict[str, CarriedDep] = {}
+        self.allocations: List[Allocation] = []
+        #: first body-order event per name: "read" or "write".
+        self._first_event: Dict[str, str] = {}
+        self._written: Set[str] = set()
+        self._attr_reads: Dict[str, List[int]] = {}
+        self._attr_written: Set[str] = set()
+
+    # -- events ---------------------------------------------------------
+
+    def _read(self, node: ast.AST) -> None:
+        for name, _line in _names_read(node):
+            self._first_event.setdefault(name, "read")
+        self._collect_attr_reads(node)
+        self._collect_allocations(node)
+
+    def _write_name(self, name: str) -> None:
+        self._first_event.setdefault(name, "write")
+        self._written.add(name)
+
+    def _carry(self, name: str, line: int, kind: str, detail: str) -> None:
+        if name in self.loop_vars:
+            return
+        existing = self.carried.get(name)
+        if existing is None or (
+            existing.kind == "reduction" and kind == "sequential"
+        ):
+            self.carried[name] = CarriedDep(name, line, kind, detail)
+
+    # -- statement walk -------------------------------------------------
+
+    def walk(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+        # A name whose first body-order event is a read but which the
+        # body also writes sees the *previous* iteration's value: a
+        # carried dependence that is not a recognized reduction.
+        for name in sorted(self._written):
+            if name in self.loop_vars or name in self.carried:
+                continue
+            if self._first_event.get(name) == "read":
+                self._carry(
+                    name,
+                    0,
+                    "sequential",
+                    f"'{name}' is read before it is rewritten each iteration",
+                )
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate scope
+        if isinstance(stmt, ast.Assign):
+            self._read(stmt.value)
+            for target in stmt.targets:
+                self._handle_assign_target(target, stmt.value, stmt.lineno)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._read(stmt.value)
+                self._handle_assign_target(stmt.target, stmt.value, stmt.lineno)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._read(stmt.value)
+            self._handle_aug_target(stmt, stmt.lineno)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._handle_expr_stmt(stmt)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._read(stmt.iter)
+            inner_vars = _target_names(stmt.target)
+            for name in inner_vars:
+                self._write_name(name)
+            # The nested loop's body effects are the outer body's too,
+            # with the inner loop variable additionally loop-local.
+            saved = self.loop_vars
+            saved_distinct = self.distinct_vars
+            self.loop_vars = saved | inner_vars
+            if isinstance(stmt, ast.For):
+                self.distinct_vars = saved_distinct | _distinct_loop_vars(stmt)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+            self.loop_vars = saved
+            self.distinct_vars = saved_distinct
+            return
+        if isinstance(stmt, ast.While):
+            self._read(stmt.test)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._read(stmt.test)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._read(item.context_expr)
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        self._write_name(name)
+            self.walk(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.walk(stmt.body)
+            for handler in stmt.handlers:
+                self.walk(handler.body)
+            self.walk(stmt.orelse)
+            self.walk(stmt.finalbody)
+            return
+        # return/raise/delete/assert/… : reads only.
+        self._read(stmt)
+
+    # -- assignment patterns --------------------------------------------
+
+    def _handle_assign_target(
+        self, target: ast.expr, value: ast.expr, line: int
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if _is_reduction_rhs(target.id, value):
+                self._carry(
+                    target.id,
+                    line,
+                    "reduction",
+                    f"'{target.id}' folds itself each iteration",
+                )
+            elif any(name == target.id for name, _l in _names_read(value)):
+                self._carry(
+                    target.id,
+                    line,
+                    "sequential",
+                    f"'{target.id}' is recomputed from its previous value",
+                )
+            self._write_name(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._handle_assign_target(elt, value, line)
+            return
+        if isinstance(target, ast.Subscript):
+            self._read(target.value)
+            self._read(target.slice)
+            base = attr_chain(target.value)
+            base_text = ".".join(base) if base else dump_expr(target.value)
+            if _index_is_loop_local(target.slice, self.distinct_vars):
+                return  # out[i] = …: a distinct element per iteration
+            self._carry(
+                base_text,
+                line,
+                "sequential",
+                f"'{base_text}[…]' is written at a data-dependent index; "
+                f"repeated destinations make the result order-sensitive",
+            )
+            return
+        if isinstance(target, ast.Attribute):
+            self._read(target.value)
+            chain = attr_chain(target)
+            chain_text = ".".join(chain) if chain else dump_expr(target)
+            self._attr_written.add(chain_text)
+            self._carry(
+                chain_text,
+                line,
+                "sequential",
+                f"'{chain_text}' carries state across iterations",
+            )
+
+    def _handle_aug_target(self, stmt: ast.AugAssign, line: int) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            self._carry(
+                target.id,
+                line,
+                "reduction",
+                f"'{target.id}' accumulates across iterations",
+            )
+            self._write_name(target.id)
+            return
+        if isinstance(target, ast.Subscript):
+            self._read(target.value)
+            self._read(target.slice)
+            base = attr_chain(target.value)
+            base_text = ".".join(base) if base else dump_expr(target.value)
+            if _index_is_loop_local(target.slice, self.distinct_vars):
+                return
+            self._carry(
+                base_text,
+                line,
+                "reduction",
+                f"'{base_text}[…]' accumulates at a data-dependent index "
+                f"(segmented reduction)",
+            )
+            return
+        if isinstance(target, ast.Attribute):
+            self._read(target.value)
+            chain = attr_chain(target)
+            chain_text = ".".join(chain) if chain else dump_expr(target)
+            self._attr_written.add(chain_text)
+            self._carry(
+                chain_text,
+                line,
+                "reduction",
+                f"'{chain_text}' accumulates across iterations",
+            )
+
+    def _handle_expr_stmt(self, stmt: ast.Expr) -> None:
+        call = stmt.value
+        if isinstance(call, ast.Call):
+            chain = attr_chain(call.func)
+            if chain is not None and len(chain) >= 2 and (
+                chain[-1] in _REDUCTION_METHODS
+            ):
+                receiver = ".".join(chain[:-1])
+                if chain[0] not in self.loop_vars:
+                    self._carry(
+                        receiver,
+                        stmt.lineno,
+                        "reduction",
+                        f"'{receiver}.{chain[-1]}(…)' grows a container "
+                        f"across iterations",
+                    )
+                for arg in call.args:
+                    self._read(arg)
+                for kw in call.keywords:
+                    self._read(kw.value)
+                self._collect_attr_reads(call.func)
+                return
+        self._read(stmt.value)
+
+    # -- allocations and attribute reads --------------------------------
+
+    def _collect_allocations(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            alloc = self._allocation_of(sub)
+            if alloc is not None:
+                self.allocations.append(alloc)
+
+    def _allocation_of(self, node: ast.AST) -> Optional[Allocation]:
+        if isinstance(node, (ast.Dict, ast.Set)) or isinstance(node, ast.List):
+            return Allocation(node.lineno, dump_expr(node), escapes=False)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return Allocation(node.lineno, dump_expr(node), escapes=False)
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is not None and len(chain) == 1 and (
+                chain[0] in _ALLOCATOR_CALLS
+            ):
+                return Allocation(node.lineno, dump_expr(node), escapes=False)
+            if (
+                chain is not None
+                and self.class_resolver is not None
+                and self.class_resolver(node)
+            ):
+                return Allocation(node.lineno, dump_expr(node), escapes=False)
+        return None
+
+    def _collect_attr_reads(self, node: ast.AST) -> None:
+        stack: List[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+                chain = attr_chain(sub)
+                if chain is not None and len(chain) >= 3:
+                    self._attr_reads.setdefault(".".join(chain), []).append(
+                        sub.lineno
+                    )
+                    # Only the maximal chain counts; descend past the
+                    # attribute spine into call args / subscripts.
+                    inner = sub
+                    while isinstance(inner, ast.Attribute):
+                        inner = inner.value
+                    stack.append(inner)
+                    continue
+            stack.extend(ast.iter_child_nodes(sub))
+
+    def hoistable(self) -> List[HoistableAttr]:
+        out: List[HoistableAttr] = []
+        for chain_text, lines in sorted(self._attr_reads.items()):
+            if len(lines) < 2:
+                continue
+            root = chain_text.split(".")[0]
+            if root in self.loop_vars or root in self._written:
+                continue
+            if any(
+                written == chain_text or written.startswith(chain_text + ".")
+                or chain_text.startswith(written + ".")
+                for written in self._attr_written
+            ):
+                continue
+            out.append(HoistableAttr(min(lines), chain_text, len(lines)))
+        return out
+
+
+def _mark_escapes(loop: ast.For, walker: _LoopWalker) -> List[Allocation]:
+    """Second pass: which per-iteration allocations escape the loop?
+
+    An allocation escapes when it is stored somewhere that outlives the
+    iteration: passed to an outer container's grow method, assigned
+    into a subscript/attribute, yielded, or returned.
+    """
+    escaping_lines: Set[int] = set()
+    for stmt in ast.walk(loop):
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            chain = attr_chain(stmt.value.func)
+            if chain is not None and len(chain) >= 2 and (
+                chain[-1] in _REDUCTION_METHODS
+            ):
+                for arg in stmt.value.args:
+                    for sub in ast.walk(arg):
+                        escaping_lines.add(getattr(sub, "lineno", 0))
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and (
+            getattr(stmt, "value", None) is not None
+        ):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if any(
+                isinstance(t, (ast.Subscript, ast.Attribute)) for t in targets
+            ):
+                for sub in ast.walk(stmt.value):
+                    escaping_lines.add(getattr(sub, "lineno", 0))
+        if isinstance(stmt, (ast.Return, ast.Yield, ast.YieldFrom)) and (
+            getattr(stmt, "value", None) is not None
+        ):
+            for sub in ast.walk(stmt.value):
+                escaping_lines.add(getattr(sub, "lineno", 0))
+    # Names bound to allocations that later feed an escape site also
+    # escape; approximate by line: an allocation on a line that feeds
+    # an escaping expression is marked directly above, so here we only
+    # rewrite the flags.
+    return [
+        Allocation(a.line, a.expr, escapes=a.line in escaping_lines)
+        for a in walker.allocations
+    ]
+
+
+def loop_infos_in(
+    func: FunctionInfo,
+    class_resolver: Optional[Callable[[ast.Call], bool]] = None,
+) -> List[LoopInfo]:
+    """Analyze every ``for`` loop in ``func`` (nested loops included)."""
+    infos: List[LoopInfo] = []
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not func.node
+        ):
+            continue
+        if not isinstance(node, ast.For):
+            continue
+        loop_vars = _target_names(node.target)
+        walker = _LoopWalker(
+            loop_vars,
+            _distinct_loop_vars(node),
+            class_resolver=class_resolver,
+        )
+        walker.walk(node.body)
+        infos.append(
+            LoopInfo(
+                function=func.qualname,
+                file=func.file,
+                line=node.lineno,
+                targets=tuple(sorted(loop_vars)),
+                carried=sorted(
+                    walker.carried.values(), key=lambda d: (d.line, d.name)
+                ),
+                allocations=_mark_escapes(node, walker),
+                hoistable=walker.hoistable(),
+            )
+        )
+    infos.sort(key=lambda info: info.line)
+    return infos
+
+
+def classify_function(
+    func: FunctionInfo,
+    class_resolver: Optional[Callable[[ast.Call], bool]] = None,
+) -> Tuple[str, List[LoopInfo]]:
+    """Worst-loop classification of a kernel body.
+
+    A body with no Python loops at all is ``elementwise`` — it is
+    already straight-line (typically whole-array numpy) code.
+    """
+    infos = loop_infos_in(func, class_resolver=class_resolver)
+    if not infos:
+        return ELEMENTWISE, infos
+    worst = max(infos, key=lambda info: _SEVERITY[info.classification])
+    return worst.classification, infos
+
+
+__all__ = [
+    "Allocation",
+    "CarriedDep",
+    "ELEMENTWISE",
+    "HOT_FUNCTION_NAMES",
+    "HOT_PACKAGES",
+    "HoistableAttr",
+    "LoopInfo",
+    "SEGMENTED",
+    "SEQUENTIAL",
+    "VECTOR_FACTOR",
+    "classify_function",
+    "hot_functions",
+    "is_hot_function",
+    "loop_infos_in",
+]

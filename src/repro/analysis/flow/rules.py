@@ -1,4 +1,4 @@
-"""Interprocedural rules CHX008-CHX012 over the flow layer.
+"""Interprocedural rules CHX008-CHX017 over the flow layer.
 
 Unlike the local rules (which see one AST at a time), a deep rule sees
 the whole project: the :class:`DeepContext` bundles the project index,
@@ -6,6 +6,12 @@ the call graph and the taint analysis.  Each rule's ``run`` returns
 plain :class:`~repro.analysis.findings.Finding` objects; the deep
 engine applies inline suppressions afterwards, exactly like the local
 engine does.
+
+CHX008–012 guard the determinism invariant of the *current* runtime;
+CHX013–017 guard the two refactors on the ROADMAP — columnar numpy
+kernels (loop-carried dependences, per-edge allocation) and the
+real-process backend (unpicklable/aliased per-machine state, shared
+module globals, order-sensitive reductions).
 """
 
 from __future__ import annotations
@@ -18,11 +24,23 @@ from repro.analysis.findings import Finding
 from repro.analysis.flow.callgraph import CallGraph, CallSite
 from repro.analysis.flow.cfg import definitely_terminates
 from repro.analysis.flow.dataflow import TaintAnalysis
+from repro.analysis.flow.escape import (
+    aliased_constructions,
+    shared_mutable_globals,
+    unpicklable_captures,
+)
+from repro.analysis.flow.loops import (
+    HOT_PACKAGES,
+    SEQUENTIAL,
+    hot_functions,
+    loop_infos_in,
+)
 from repro.analysis.flow.project import (
     FunctionInfo,
     ModuleInfo,
     ProjectIndex,
     attr_chain,
+    dump_expr,
     parse_constant_int,
 )
 from repro.analysis.lint import SIM_PACKAGES
@@ -30,6 +48,16 @@ from repro.analysis.lint import SIM_PACKAGES
 #: Sim packages plus the analysis package itself (the sanitizer's own
 #: state is simulated-run state).
 DEEP_SIM_PACKAGES: FrozenSet[str] = SIM_PACKAGES | frozenset({"analysis"})
+
+#: Version of the deep analyzer's *rule logic*.  Mixed into the
+#: ``check --deep`` pickled-index cache key alongside the index-layout
+#: version, so a rule change invalidates cached results even when the
+#: analyzed sources are unchanged.  Bump on any behavioural change to
+#: the deep rules or the analyses they stand on.
+#:
+#: 1 — CHX008–012 (PR 5).
+#: 2 — CHX013–017: loop dependence + escape analysis (this revision).
+ANALYZER_VERSION = 2
 
 
 class DeepContext:
@@ -764,6 +792,267 @@ class StaticRaceCandidateRule(DeepRule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# CHX013: loop-carried dependence in an edge loop
+# ---------------------------------------------------------------------------
+
+
+class LoopCarriedDependenceRule(DeepRule):
+    """A sequential loop-carried dependence in an edge kernel blocks
+    vectorization: the loop cannot become a whole-chunk numpy operation
+    until the dependence is restructured (prefix-scan, segmentation, or
+    hoisting the stateful part out of the per-edge path).
+
+    Only genuinely *sequential* dependences flag; reduction-style
+    carries (``acc += e``, ``out.append(e)``) classify the loop as a
+    segmented reduction, which the columnar rewrite handles with
+    ``np.ufunc.at`` / sort-and-segment machinery.
+    """
+
+    rule_id = "CHX013"
+    severity = "error"
+    title = "loop-carried dependence in an edge loop blocks vectorization"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for func in hot_functions(ctx.index):
+            for info in loop_infos_in(func):
+                if info.classification != SEQUENTIAL:
+                    continue
+                deps = [d for d in info.carried if d.kind == "sequential"]
+                names = ", ".join(sorted({d.name for d in deps}))
+                detail = deps[0].detail if deps else ""
+                yield self._finding(
+                    info.file,
+                    info.line,
+                    f"edge loop in {func.name} carries a sequential "
+                    f"dependence through {names}: {detail}; this blocks "
+                    f"vectorization — restructure as a reduction or hoist "
+                    f"the carried state out of the per-edge path",
+                )
+
+
+# ---------------------------------------------------------------------------
+# CHX014: per-edge allocation / repeated attribute lookup in a hot loop
+# ---------------------------------------------------------------------------
+
+
+class HotLoopAllocationRule(DeepRule):
+    """Per-iteration Python object allocation (dicts, lists, project
+    objects) and repeated loop-invariant attribute lookups dominate
+    interpreter cost in the edge hot path.  Both are hoistable today
+    and disappear entirely under a columnar rewrite; the finding names
+    the hoistable expression.
+    """
+
+    rule_id = "CHX014"
+    severity = "warning"
+    title = "per-edge allocation or repeated attribute lookup in a hot loop"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for func in hot_functions(ctx.index):
+            module = ctx.index.modules.get(func.module)
+            resolver = self._class_resolver(ctx, module) if module else None
+            for info in loop_infos_in(func, class_resolver=resolver):
+                if info.allocations:
+                    alloc = info.allocations[0]
+                    escape_note = (
+                        " and escapes the loop (the rewrite must "
+                        "materialize it as a column)"
+                        if alloc.escapes
+                        else ""
+                    )
+                    yield self._finding(
+                        info.file,
+                        info.line,
+                        f"hot loop in {func.name} allocates "
+                        f"'{alloc.expr}' every iteration{escape_note}; "
+                        f"hoist the allocation or batch it per chunk",
+                    )
+                elif info.hoistable:
+                    attr = info.hoistable[0]
+                    yield self._finding(
+                        info.file,
+                        info.line,
+                        f"hot loop in {func.name} re-reads the "
+                        f"loop-invariant attribute chain '{attr.chain}' "
+                        f"{attr.reads} times; bind it to a local before "
+                        f"the loop",
+                    )
+
+    @staticmethod
+    def _class_resolver(ctx: DeepContext, module):
+        def resolver(call: ast.Call) -> bool:
+            chain = attr_chain(call.func)
+            if chain is None:
+                return False
+            from repro.analysis.flow.project import ClassInfo
+
+            resolved = ctx.index.resolve_chain_in(module, chain)
+            return isinstance(resolved, ClassInfo)
+
+        return resolver
+
+
+# ---------------------------------------------------------------------------
+# CHX015: state captured by a would-be process boundary
+# ---------------------------------------------------------------------------
+
+
+class ProcessBoundaryCaptureRule(DeepRule):
+    """Per-machine classes (``__init__`` takes a ``machine`` identity)
+    become one-per-worker-process under the real-process backend.  Two
+    capture patterns break that move: attributes bound to values
+    ``pickle`` rejects (lambdas, generators, open files), and
+    construction loops handing every machine the *same* object — state
+    that aliases another machine's mutable state today and silently
+    stops being shared under fork/spawn.
+    """
+
+    rule_id = "CHX015"
+    severity = "warning"
+    title = "per-machine state unpicklable or aliased across machines"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for capture in unpicklable_captures(ctx.index):
+            yield self._finding(
+                capture.file,
+                capture.line,
+                f"per-machine class {capture.cls.rsplit('.', 1)[-1]} "
+                f"captures self.{capture.attr} as {capture.reason}; it "
+                f"cannot cross a process boundary — pass a picklable "
+                f"factory or rebuild it worker-side",
+            )
+        for site in aliased_constructions(ctx.index, ctx.graph):
+            shared = ", ".join(site.shared)
+            yield self._finding(
+                site.file,
+                site.line,
+                f"per-machine class {site.cls.rsplit('.', 1)[-1]} is "
+                f"constructed in a loop with shared argument(s) "
+                f"[{shared}] (in {site.caller.rsplit('.', 1)[-1]}); every "
+                f"machine aliases the same object — the process backend "
+                f"must replace these with per-worker channels or copies",
+            )
+
+
+# ---------------------------------------------------------------------------
+# CHX016: order-sensitive float accumulation outside the protocol
+# ---------------------------------------------------------------------------
+
+#: The gather-side kernels whose accumulation order the protocol must
+#: pin (scatter produces, these fold).
+_GATHER_FAMILY = frozenset(
+    {"gather", "gather_chunk", "merge", "merge_accumulators"}
+)
+
+_CANONICAL_ORDER_CALL = "canonical_update_order"
+
+
+class UnorderedReductionRule(DeepRule):
+    """Float ``+=`` accumulation is order-sensitive (float addition is
+    not associative).  Today the runtime replays updates in the
+    canonical order of ``canonical_update_order`` before folding, so
+    results are byte-identical; once reductions go parallel, any
+    accumulation *not* routed through that ordering step becomes
+    schedule-dependent.  Flags additive folds in gather-family kernels
+    whose reduction order no caller fixes.
+    """
+
+    rule_id = "CHX016"
+    severity = "warning"
+    title = "order-sensitive float accumulation not fixed by the protocol"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for func in ctx.index.iter_functions():
+            if func.name not in _GATHER_FAMILY:
+                continue
+            if not any(
+                part in HOT_PACKAGES for part in func.module.split(".")
+            ):
+                continue
+            if self._order_is_fixed(ctx, func):
+                continue
+            yield from self._additive_folds(func)
+
+    def _order_is_fixed(self, ctx: DeepContext, func: FunctionInfo) -> bool:
+        """The function itself, or a direct caller, sorts updates into
+        canonical order before (or around) the fold."""
+        if self._calls_canonical(ctx, func.qualname):
+            return True
+        for caller in ctx.graph.callers_of(func.qualname):
+            if self._calls_canonical(ctx, caller):
+                return True
+        return False
+
+    @staticmethod
+    def _calls_canonical(ctx: DeepContext, qualname: str) -> bool:
+        return any(
+            site.name == _CANONICAL_ORDER_CALL
+            for site in ctx.graph.call_sites_in(qualname)
+        )
+
+    def _additive_folds(self, func: FunctionInfo) -> Iterator[Finding]:
+        for node in ast.walk(func.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                node is not func.node
+            ):
+                continue
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                target = dump_expr(node.target)
+                yield self._finding(
+                    func.file,
+                    node.lineno,
+                    f"additive fold '{target} += …' in {func.name} has no "
+                    f"protocol-fixed reduction order; float addition is "
+                    f"not associative — route updates through "
+                    f"canonical_update_order before folding, or switch "
+                    f"to an order-insensitive combine",
+                )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is not None and len(chain) >= 2 and (
+                    chain[-2:] == ["add", "at"]
+                ):
+                    yield self._finding(
+                        func.file,
+                        node.lineno,
+                        f"'{'.'.join(chain)}(…)' in {func.name} folds "
+                        f"updates in buffer order with no protocol-fixed "
+                        f"reduction order; float addition is not "
+                        f"associative — sort with canonical_update_order "
+                        f"first",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# CHX017: module-level mutable state shared across emulated machines
+# ---------------------------------------------------------------------------
+
+
+class SharedModuleStateRule(DeepRule):
+    """A module-level mutable container read by code reachable from a
+    per-machine class is shared by *every* emulated machine — invisible
+    coupling in the single-process emulation, and a silent divergence
+    (each worker gets its own copy) under the real-process backend.
+    """
+
+    rule_id = "CHX017"
+    severity = "warning"
+    title = "module-level mutable state reachable from per-machine code"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for shared in shared_mutable_globals(ctx.index, ctx.graph):
+            yield self._finding(
+                shared.file,
+                shared.line,
+                f"module-level mutable '{shared.name}' in {shared.module} "
+                f"is read on a per-machine call path (via "
+                f"{shared.via.rsplit('.', 1)[-1]}); machines share one "
+                f"instance today and would silently diverge under real "
+                f"processes — pass it through the constructor or freeze it",
+            )
+
+
 def default_deep_rules() -> List[DeepRule]:
     return [
         InterproceduralTaintRule(),
@@ -771,6 +1060,11 @@ def default_deep_rules() -> List[DeepRule]:
         BarrierPairingRule(),
         CrossModuleProcessRule(),
         StaticRaceCandidateRule(),
+        LoopCarriedDependenceRule(),
+        HotLoopAllocationRule(),
+        ProcessBoundaryCaptureRule(),
+        UnorderedReductionRule(),
+        SharedModuleStateRule(),
     ]
 
 
@@ -781,6 +1075,7 @@ DEEP_RULE_TABLE: Dict[str, str] = {
 
 
 __all__ = [
+    "ANALYZER_VERSION",
     "DEEP_RULE_TABLE",
     "DEEP_SIM_PACKAGES",
     "BarrierPairingRule",
@@ -788,9 +1083,14 @@ __all__ = [
     "DeepContext",
     "DeepRule",
     "GrantPairingRule",
+    "HotLoopAllocationRule",
     "InterproceduralTaintRule",
+    "LoopCarriedDependenceRule",
+    "ProcessBoundaryCaptureRule",
     "RaceCandidate",
+    "SharedModuleStateRule",
     "StaticRaceCandidateRule",
+    "UnorderedReductionRule",
     "collect_race_candidates",
     "default_deep_rules",
 ]

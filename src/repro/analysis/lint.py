@@ -74,6 +74,13 @@ class FileContext:
         (if/for/try/def/…) only widen over their *header* lines — a
         comment buried in a function body must not silence findings on
         the ``def`` line.
+
+        A multi-line loop header whose body starts on the header's own
+        closing line (``for x in (\\n    xs\\n): f(x)  # chaos: …``)
+        still counts that line as header: the trailing comment sits on
+        the line the header ends on, so it must reach findings anchored
+        at the ``for``.  Body lines *below* the header remain out of
+        scope.
         """
         raw = self.suppressions()
         table: Dict[int, Set[str]] = {line: set(ids) for line, ids in raw.items()}
@@ -84,19 +91,35 @@ class FileContext:
                 continue
             start = node.lineno
             end = getattr(node, "end_lineno", None) or start
-            inner_starts = [
-                block[0].lineno
+            inner = [
+                block[0]
                 for name in ("body", "orelse", "finalbody")
                 if (block := getattr(node, name, None))
                 and isinstance(block, list)
                 and block
-            ] + [handler.lineno for handler in getattr(node, "handlers", [])]
-            if inner_starts:
-                end = max(start, min(inner_starts) - 1)
+            ] + list(getattr(node, "handlers", []))
+            if inner:
+                first = min(inner, key=lambda n: (n.lineno, n.col_offset))
+                end = max(start, first.lineno - 1)
+                if first.lineno > start and self._header_spills_onto(first):
+                    # One-liner body sharing the header's closing line:
+                    # that line is still (also) a header line.
+                    end = first.lineno
             for line in range(start + 1, end + 1):
                 if line in raw:
                     table.setdefault(start, set()).update(raw[line])
         return table
+
+    def _header_spills_onto(self, first_inner: ast.AST) -> bool:
+        """True when a compound statement's header text extends onto
+        the line its first inner statement starts on (the inner
+        statement is prefixed by the header's closing tokens)."""
+        lineno = getattr(first_inner, "lineno", 0)
+        col = getattr(first_inner, "col_offset", 0)
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        prefix = self.lines[lineno - 1][:col].strip()
+        return prefix.endswith(":")
 
 
 class Rule:

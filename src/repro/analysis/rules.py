@@ -588,3 +588,16 @@ DEFAULT_RULES = (
 RULE_TABLE: Dict[str, str] = {
     cls.rule_id: cls.title for cls in DEFAULT_RULES
 }
+
+
+def full_rule_table() -> Dict[str, str]:
+    """Every rule id -> title, local (CHX001–007) and deep (CHX008–017).
+
+    Imports the deep registry lazily so the local lint path keeps its
+    zero-cost import footprint.
+    """
+    from repro.analysis.flow.rules import DEEP_RULE_TABLE
+
+    table = dict(RULE_TABLE)
+    table.update(DEEP_RULE_TABLE)
+    return table

@@ -246,14 +246,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated rule ids to run "
                             "(default: all CHX rules)")
     check.add_argument("--deep", action="store_true",
-                       help="also run the whole-program rules CHX008-012 "
-                            "(call graph + interprocedural dataflow)")
+                       help="also run the whole-program rules CHX008-017 "
+                            "(call graph, interprocedural dataflow, loop "
+                            "dependence + parallel-safety)")
     check.add_argument("--stats", action="store_true",
                        help="print per-rule finding/suppression counts "
                             "(text format only; json always includes them)")
     check.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="cache the parsed project index for --deep, "
                             "keyed on a source-tree hash (e.g. .chaos-cache)")
+    check.add_argument("--baseline", metavar="FILE", default=None,
+                       help="finding ratchet: suppress the (file, rule, "
+                            "fingerprint) entries recorded in FILE and "
+                            "exit non-zero only on NEW findings")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="with --baseline: (re)write FILE from the "
+                            "current findings instead of checking "
+                            "against it")
+    check.add_argument("--kernel-report", action="store_true",
+                       help="print the kernel worklist instead of lint "
+                            "findings: per-(algorithm, phase) static "
+                            "vectorizability, joined with --host-json "
+                            "CPU shares and ranked by share x "
+                            "vectorizable")
+    check.add_argument("--host-json", metavar="FILE", default=None,
+                       help="with --kernel-report: a host metrics JSON "
+                            "written by run --host-profile --host-json")
 
     return parser
 
@@ -401,6 +419,15 @@ def _command_run(args) -> int:
         algorithm = _make_algorithm(args.algorithm, args, graph)
         from repro.core.runtime import ChaosCluster
 
+        if host is not None:
+            # Stable join keys: check --kernel-report joins its static
+            # kernel table on job.algorithm + phase names.
+            host.registry.job = {
+                "algorithm": algorithm.name,
+                "cli_name": args.algorithm,
+                "machines": args.machines,
+                "seed": args.seed,
+            }
         cluster = ChaosCluster(
             config, tracer=tracer, sanitizer=sanitizer, host=host
         )
@@ -721,8 +748,50 @@ def _rule_stats(result) -> dict:
     return dict(sorted(stats.items()))
 
 
+def _command_check_kernel_report(args) -> int:
+    import json as json_module
+
+    from repro.analysis.flow.kernels import (
+        build_kernel_report,
+        check_kernel_report_schema,
+        format_kernel_report,
+        load_host_doc,
+    )
+
+    host_doc = None
+    if args.host_json:
+        from repro.obs.host import check_host_schema
+
+        try:
+            host_doc = load_host_doc(args.host_json)
+        except (OSError, ValueError) as error:
+            print(f"--host-json {args.host_json}: {error}", file=sys.stderr)
+            return 2
+        errors = check_host_schema(host_doc)
+        if errors:
+            for error in errors:
+                print(f"--host-json {args.host_json}: {error}",
+                      file=sys.stderr)
+            return 2
+
+    doc = build_kernel_report(
+        args.paths, host_doc=host_doc, host_source=args.host_json
+    )
+    errors = check_kernel_report_schema(doc)
+    if errors:  # internal invariant: the builder emits its own schema
+        for error in errors:
+            print(f"kernel report schema: {error}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json_module.dumps(doc, indent=2))
+    else:
+        print(format_kernel_report(doc))
+    return 0
+
+
 def _command_check(args) -> int:
     import json as json_module
+    import time
 
     from repro.analysis import (
         LintEngine,
@@ -733,6 +802,16 @@ def _command_check(args) -> int:
     )
     from repro.analysis.flow import DeepEngine, default_deep_rules
 
+    if args.kernel_report:
+        return _command_check_kernel_report(args)
+    if args.host_json:
+        print("--host-json requires --kernel-report", file=sys.stderr)
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    wall_start = time.perf_counter()
     local_rules = default_rules()
     deep_rules = default_deep_rules() if args.deep else []
     if args.rules:
@@ -783,11 +862,45 @@ def _command_check(args) -> int:
 
         combined = LintResult()
 
+    baseline_info = None
+    if args.baseline and args.write_baseline:
+        from repro.analysis.baseline import write_baseline
+
+        count = write_baseline(combined.findings, args.baseline)
+        print(
+            f"baseline: {count} entr{'y' if count == 1 else 'ies'} "
+            f"({len(combined.findings)} finding(s)) -> {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        from repro.analysis.baseline import (
+            baseline_stats,
+            load_baseline,
+            split_new,
+        )
+
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"--baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+        baseline_info = baseline_stats(combined.findings, entries)
+        new, grandfathered = split_new(combined.findings, entries)
+        combined.findings = new
+        combined.suppressed.extend(grandfathered)
+        combined.suppressed.sort()
+
+    wall_seconds = time.perf_counter() - wall_start
+
     if args.fmt == "json":
         document = json_module.loads(
             format_json(combined.findings, suppressed=len(combined.suppressed))
         )
         document["rule_stats"] = _rule_stats(combined)
+        document["analysis_wall_seconds"] = round(wall_seconds, 4)
+        if baseline_info is not None:
+            document["baseline"] = dict(baseline_info, file=args.baseline)
         if deep_result is not None:
             document["deep"] = {
                 "race_candidates": [
@@ -805,10 +918,16 @@ def _command_check(args) -> int:
         output = format_text(combined.findings)
         if output:
             print(output)
+        tail = (
+            f", {baseline_info['matched']} grandfathered "
+            f"(baseline: {args.baseline})"
+            if baseline_info is not None
+            else ""
+        )
         print(
             f"{len(combined.findings)} finding(s), "
             f"{len(combined.suppressed)} suppressed, "
-            f"{combined.files_checked} file(s) checked",
+            f"{combined.files_checked} file(s) checked{tail}",
             file=sys.stderr,
         )
         if args.stats:
@@ -818,6 +937,10 @@ def _command_check(args) -> int:
                     f"{entry['suppressed']} suppressed",
                     file=sys.stderr,
                 )
+            print(
+                f"  analysis wall time: {wall_seconds:.2f}s",
+                file=sys.stderr,
+            )
         if deep_result is not None:
             fraction = deep_result.resolution.get(
                 "project_resolution_fraction", 0.0

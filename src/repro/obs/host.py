@@ -73,6 +73,13 @@ class HostMetricsRegistry:
 
     def __init__(self, trace_allocations: bool = False):
         self.trace_allocations = trace_allocations
+        #: Stable join keys identifying the run that produced these
+        #: metrics (``{"algorithm": …, "machines": …, "seed": …}``).
+        #: ``check --kernel-report --host-json`` joins its static
+        #: kernel table against the document on ``job.algorithm`` plus
+        #: the per-row ``phase`` names, so downstream tools never have
+        #: to guess which run a metrics file belongs to.
+        self.job: Optional[dict] = None
         self._entries: Dict[Tuple[int, str, int], _PhaseEntry] = {}
         #: Wall/CPU nanoseconds of the profiled region: the sum of all
         #: *top-level* measured intervals.  Because measured sections
@@ -171,7 +178,7 @@ class HostMetricsRegistry:
         scatter_wall = by_phase.get("scatter", {}).get("wall_seconds", 0.0)
         region_wall = self.region_wall_ns / 1e9
         session_wall = self.session_wall_ns / 1e9
-        return {
+        doc = {
             "host_schema_version": HOST_SCHEMA_VERSION,
             "tracemalloc": self.trace_allocations,
             "region": {
@@ -193,6 +200,9 @@ class HostMetricsRegistry:
                 ),
             },
         }
+        if self.job is not None:
+            doc["job"] = dict(self.job)
+        return doc
 
 
 class _Measurement:
@@ -547,6 +557,15 @@ def check_host_schema(doc: dict) -> List[str]:
     for key in ("by_phase", "edges", "edges_per_sec"):
         if key not in doc["totals"]:
             errors.append(f"totals: missing {key}")
+    if "job" in doc:  # optional stable join keys (see registry.job)
+        job = doc["job"]
+        if not isinstance(job, dict):
+            errors.append("job: expected dict")
+        else:
+            if not isinstance(job.get("algorithm"), str):
+                errors.append("job.algorithm: expected str")
+            if not isinstance(job.get("machines"), int):
+                errors.append("job.machines: expected int")
     return errors
 
 

@@ -1,4 +1,4 @@
-"""Interprocedural rules CHX008-CHX017 over the flow layer.
+"""Interprocedural rules CHX008-CHX018 over the flow layer.
 
 Unlike the local rules (which see one AST at a time), a deep rule sees
 the whole project: the :class:`DeepContext` bundles the project index,
@@ -11,7 +11,9 @@ CHX008–012 guard the determinism invariant of the *current* runtime;
 CHX013–017 guard the two refactors on the ROADMAP — columnar numpy
 kernels (loop-carried dependences, per-edge allocation) and the
 real-process backend (unpicklable/aliased per-machine state, shared
-module globals, order-sensitive reductions).
+module globals, order-sensitive reductions).  CHX018 guards the chaos
+fuzzer's replay contract: every RNG in the fault-injection and fuzzing
+packages must be seeded, or shrunk reproducer plans stop reproducing.
 """
 
 from __future__ import annotations
@@ -56,8 +58,10 @@ DEEP_SIM_PACKAGES: FrozenSet[str] = SIM_PACKAGES | frozenset({"analysis"})
 #: the deep rules or the analyses they stand on.
 #:
 #: 1 — CHX008–012 (PR 5).
-#: 2 — CHX013–017: loop dependence + escape analysis (this revision).
-ANALYZER_VERSION = 2
+#: 2 — CHX013–017: loop dependence + escape analysis.
+#: 3 — CHX018: unseeded RNG in fault-injection/fuzzing code (this
+#:     revision).
+ANALYZER_VERSION = 3
 
 
 class DeepContext:
@@ -1053,6 +1057,98 @@ class SharedModuleStateRule(DeepRule):
             )
 
 
+# ---------------------------------------------------------------------------
+# CHX018: unseeded randomness in fault-injection / fuzzing code
+# ---------------------------------------------------------------------------
+
+#: Zero-argument constructions of these canonical targets seed from the
+#: OS entropy pool — the schedule they drive can never be replayed.
+_RNG_CONSTRUCTORS = frozenset(
+    {"random.Random", "numpy.random.default_rng", "numpy.random.RandomState"}
+)
+
+#: Stdlib ``random`` attributes that are *types*, not the global-RNG
+#: convenience functions (calling these is not a global-state draw).
+_RANDOM_TYPES = frozenset({"Random", "SystemRandom"})
+
+
+class UnseededRandomRule(DeepRule):
+    """The chaos fuzzer's contract is that a ``(seed, episode)`` pair —
+    or a shrunk reproducer plan — replays the exact same schedule.  One
+    unseeded RNG anywhere in the fault-injection path silently breaks
+    that: campaigns stop being reproducible and minimized fault plans
+    stop reproducing their violation.
+
+    Flags, in any module of the ``faults`` package or any ``fuzz*``
+    module: zero-argument RNG construction (``random.Random()``,
+    ``np.random.default_rng()``) and draws on the interpreter-global RNG
+    (``random.random()``…), resolved through import aliases — which is
+    what the per-file CHX002 cannot see (``import random as rnd``).
+    """
+
+    rule_id = "CHX018"
+    severity = "error"
+    title = "unseeded RNG in fault-injection/fuzzing code breaks replay"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for module in sorted(ctx.index.modules.values(), key=lambda m: m.file):
+            if not self._in_scope(module.name):
+                continue
+            yield from self._scan_module(module)
+
+    @staticmethod
+    def _in_scope(module_name: str) -> bool:
+        parts = module_name.split(".")
+        return "faults" in parts or any(p.startswith("fuzz") for p in parts)
+
+    def _scan_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._resolve(module, node.func)
+            if dotted is None:
+                continue
+            if dotted in _RNG_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self._finding(
+                        module.file,
+                        node.lineno,
+                        f"{dotted.rsplit('.', 1)[-1]}() constructed without "
+                        f"a seed in {module.name}; fault schedules must "
+                        f"replay byte-for-byte — derive the seed from the "
+                        f"campaign/config seed",
+                    )
+                continue
+            head, _, leaf = dotted.rpartition(".")
+            if head == "random" and leaf not in _RANDOM_TYPES:
+                yield self._finding(
+                    module.file,
+                    node.lineno,
+                    f"random.{leaf}() draws from the interpreter-global "
+                    f"RNG in {module.name}; fault schedules must replay — "
+                    f"thread a seeded random.Random through instead",
+                )
+            elif head == "numpy.random" and leaf not in (
+                "default_rng", "RandomState"
+            ):
+                yield self._finding(
+                    module.file,
+                    node.lineno,
+                    f"np.random.{leaf}() uses the legacy global NumPy RNG "
+                    f"in {module.name}; fault schedules must replay — pass "
+                    f"a seeded np.random.default_rng(seed) through instead",
+                )
+
+    @staticmethod
+    def _resolve(module: ModuleInfo, func: ast.expr) -> Optional[str]:
+        """Canonical dotted target of a call, through import aliases."""
+        chain = attr_chain(func)
+        if chain is None or not chain:
+            return None
+        root = module.imports.get(chain[0], chain[0])
+        return ".".join([root] + chain[1:])
+
+
 def default_deep_rules() -> List[DeepRule]:
     return [
         InterproceduralTaintRule(),
@@ -1065,6 +1161,7 @@ def default_deep_rules() -> List[DeepRule]:
         ProcessBoundaryCaptureRule(),
         UnorderedReductionRule(),
         SharedModuleStateRule(),
+        UnseededRandomRule(),
     ]
 
 
@@ -1091,6 +1188,7 @@ __all__ = [
     "SharedModuleStateRule",
     "StaticRaceCandidateRule",
     "UnorderedReductionRule",
+    "UnseededRandomRule",
     "collect_race_candidates",
     "default_deep_rules",
 ]

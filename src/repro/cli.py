@@ -27,6 +27,12 @@ Commands
     Determinism lint: run the CHX rules (:mod:`repro.analysis`) over
     source trees; non-zero exit on findings.  ``--format github`` emits
     workflow commands that annotate PR diffs.
+``fuzz``
+    Chaos-schedule fuzzer: sample seeded random fault schedules against
+    the tracked PageRank configuration, check the recovery invariants
+    (byte-identical final values, graceful degradation, bounded
+    recovery), and shrink any violation to a minimal ``--inject-fault``
+    reproducer file; non-zero exit on violations.
 """
 
 from __future__ import annotations
@@ -148,8 +154,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           "SPEC is kind:machine@trigger[,key=value...] "
                           "e.g. crash:1@iter=3  crash-restart:0@t=0.02,"
                           "down=0.01  partition:2@iter=2,for=0.05  "
-                          "slow-device:1@t=0.01,factor=8,for=0.02 "
-                          "(repeatable)")
+                          "slow-device:1@t=0.01,factor=8,for=0.02  "
+                          "msg-corrupt:1@iter=2,count=2  "
+                          "chunk-bitflip:0@iter=1 — or a path to a "
+                          "fault-plan file (one spec per line, # "
+                          "comments), e.g. a fuzz reproducer "
+                          "(repeatable; specs and files combine)")
+    run.add_argument("--no-integrity", action="store_true",
+                     help="disable the integrity hardening (checksums, "
+                          "duplicate suppression, freshness checks) — "
+                          "test hook for reproducing what byzantine "
+                          "faults do to an unprotected cluster")
     run.add_argument("--verify-recovery", action="store_true",
                      help="with --inject-fault: also run an undisturbed "
                           "twin and exit non-zero unless the final vertex "
@@ -273,6 +288,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --kernel-report: a host metrics JSON "
                             "written by run --host-profile --host-json")
 
+    fuzz = commands.add_parser(
+        "fuzz", help="chaos-schedule fuzzer: random fault plans vs the "
+                     "recovery invariants, with shrinking"
+    )
+    fuzz.add_argument("--episodes", type=int, default=25,
+                      help="number of random fault schedules to run")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="fuzz seed: the whole campaign (schedules, "
+                           "jitter, placement) is reproducible from it")
+    fuzz.add_argument("--scale", type=int, default=12,
+                      help="RMAT scale of the fuzzed graph")
+    fuzz.add_argument("--machines", type=int, default=2)
+    fuzz.add_argument("--iterations", type=int, default=3,
+                      help="PageRank iterations of the fuzzed job")
+    fuzz.add_argument("--max-specs", type=int, default=3,
+                      help="max faults per sampled schedule")
+    fuzz.add_argument("--no-integrity", action="store_true",
+                      help="fuzz the unhardened cluster (checksums, "
+                           "dedup, freshness checks off) — the fuzzer "
+                           "should then find, shrink and emit "
+                           "reproducers for corruption violations")
+    fuzz.add_argument("--out-dir", default=".",
+                      help="directory for shrunk reproducer plan files")
+    fuzz.add_argument("--json", metavar="PATH", default=None,
+                      help="write the full campaign report as JSON")
+
     return parser
 
 
@@ -333,6 +374,7 @@ def _command_run(args) -> int:
         aggregate_updates=args.aggregate_updates,
         partitions_per_machine=args.partitions_per_machine,
         seed=args.seed,
+        integrity_checks=not args.no_integrity,
     )
 
     tracer = None
@@ -402,12 +444,22 @@ def _command_run(args) -> int:
             raise SystemExit(
                 "--inject-fault and --sanitize are mutually exclusive"
             )
-        from repro.faults import FaultPlan
+        import os
+
+        from repro.faults import FaultPlan, parse_fault_spec
 
         try:
-            fault_plan = FaultPlan.parse(args.inject_fault)
+            specs = []
+            for item in args.inject_fault:
+                if os.path.isfile(item):
+                    # A fault-plan file (e.g. a fuzz reproducer): one
+                    # spec per line, '#' starts a comment.
+                    specs.extend(FaultPlan.load(item).specs)
+                else:
+                    specs.append(parse_fault_spec(item))
+            fault_plan = FaultPlan(specs=tuple(specs))
             fault_plan.validate(config)
-        except ValueError as error:
+        except (OSError, ValueError) as error:
             raise SystemExit(f"bad --inject-fault: {error}")
 
     timeline = None
@@ -431,7 +483,16 @@ def _command_run(args) -> int:
         cluster = ChaosCluster(
             config, tracer=tracer, sanitizer=sanitizer, host=host
         )
-        result = cluster.run(algorithm, graph, fault_plan=fault_plan)
+        from repro.faults.diagnosis import UnrecoverableJobError
+
+        try:
+            result = cluster.run(algorithm, graph, fault_plan=fault_plan)
+        except UnrecoverableJobError as error:
+            # Graceful degradation: the cluster refused to resume from
+            # damaged state.  Exit 3 so chaos campaigns can tell a clean
+            # refusal apart from a crash (1/2) or success (0).
+            print(error.diagnosis.render(), file=sys.stderr)
+            return 3
         timeline = cluster.last_fault_timeline
 
     host_doc = None
@@ -954,6 +1015,87 @@ def _command_check(args) -> int:
     return 1 if combined.findings else 0
 
 
+def _command_fuzz(args) -> int:
+    import json as json_module
+    import os
+
+    from repro.faults.fuzz import (
+        VIOLATION_OUTCOMES,
+        ChaosFuzzer,
+        write_reproducer,
+    )
+    from repro.net.topology import GIGE_40_BENCH
+    from repro.store.device import SSD_BENCH
+
+    # Mirrors the tracked pr_m2 bench scenario, plus checkpointing and
+    # replication so every fault kind (including ckpt-corrupt) is in
+    # scope for the generator.
+    config = ClusterConfig(
+        machines=args.machines,
+        device=SSD_BENCH,
+        network=GIGE_40_BENCH,
+        chunk_bytes=4096,
+        batch_factor=8,
+        partitions_per_machine=1,
+        checkpointing=True,
+        vertex_replicas=2,
+        seed=1,
+        integrity_checks=not args.no_integrity,
+    )
+    graph = rmat_graph(args.scale, seed=1)
+    print(
+        f"fuzz: PageRank x{args.iterations} on {graph}, "
+        f"{config.machines} machines, integrity "
+        f"{'OFF' if args.no_integrity else 'on'}, "
+        f"{args.episodes} episode(s), seed {args.seed}"
+    )
+
+    def progress(episode) -> None:
+        marker = "!!" if episode.outcome in VIOLATION_OUTCOMES else "  "
+        plan_text = "; ".join(s.describe() for s in episode.plan.specs)
+        tail = (
+            f" — {episode.detail}"
+            if episode.detail and episode.outcome != "ok"
+            else ""
+        )
+        print(
+            f"{marker} episode {episode.index:>3}: "
+            f"{episode.outcome:<18} {plan_text}{tail}"
+        )
+
+    from repro.algorithms import PageRank as _PageRank
+
+    fuzzer = ChaosFuzzer(
+        lambda: _PageRank(iterations=args.iterations),
+        graph,
+        config,
+        seed=args.seed,
+        max_specs=args.max_specs,
+        max_iteration=max(0, args.iterations - 1),
+        progress=progress,
+    )
+    report = fuzzer.run_campaign(args.episodes)
+    print()
+    print(report.summary())
+    if report.violations:
+        os.makedirs(args.out_dir, exist_ok=True)
+        for violation in report.violations:
+            path = os.path.join(
+                args.out_dir,
+                f"fuzz-repro-s{args.seed}-e{violation.episode.index}.faults",
+            )
+            write_reproducer(path, violation, args.seed, config)
+            print(f"reproducer -> {path}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(
+                report.to_dict(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"episode report -> {args.json}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -964,6 +1106,7 @@ def main(argv: Optional[list] = None) -> int:
         "trace-report": _command_trace_report,
         "bench": _command_bench,
         "check": _command_check,
+        "fuzz": _command_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -50,6 +50,7 @@ from repro.core.config import ClusterConfig
 from repro.core.metrics import Breakdown
 from repro.core.stealing import estimate_cluster_remaining, should_accept_steal
 from repro.core.workload import UpdateBatch, Workload
+from repro.net.retry import RetryPolicy, retry_rng_seed
 from repro.net.transport import Network
 from repro.obs.host import resolve_host_profiler
 from repro.obs.tracer import NULL_TRACK, TID_CPU, TID_ENGINE
@@ -58,6 +59,7 @@ from repro.sim.resources import CoreBank
 from repro.sim.sync import Barrier, WaitGroup
 from repro.store import engine as store_engine
 from repro.store.chunk import Chunk, ChunkKind
+from repro.store.integrity import seal_chunk, verify_chunk
 from repro.store.placement import (
     CentralizedDirectory,
     HashedVertexPlacement,
@@ -218,6 +220,26 @@ class ComputationEngine:
         self.stale_messages = 0
         self.steal_timeouts = 0
         self.reads_abandoned = 0
+        # Integrity hardening: verify every chunk-carrying reply; on a
+        # corrupt frame, re-request with deterministic seeded backoff.
+        self._integrity = config.integrity_checks
+        self.integrity_retries = 0
+        self.write_retries = 0
+        self.retry_wait_seconds = 0.0
+        lease = config.effective_lease_timeout()
+        # Watchdog / steal re-check cadence: starts at the configured
+        # timeout and backs off geometrically (capped) so a long outage
+        # does not busy-poll the detector.
+        self._watch_policy = RetryPolicy(
+            base=config.effective_read_timeout(), factor=1.5, cap=4.0 * lease
+        )
+        # Integrity re-request cadence: a corrupt frame is a transient,
+        # so start well under the lease and back off toward it.
+        self._integrity_policy = RetryPolicy(
+            base=config.heartbeat_interval / 4.0, factor=2.0, cap=lease
+        )
+        #: Integrity re-request attempts per outstanding request id.
+        self._read_attempts: Dict[int, int] = {}
         self._master_state: Dict[int, PartitionPhaseState] = {}
         self._write_group = WaitGroup(sim, name=f"m{machine}.writes")
         # Scatter output buffers, keyed by destination partition.
@@ -317,18 +339,63 @@ class ComputationEngine:
         )
         return request_id
 
-    def _write_chunk(self, chunk: Chunk, target: int) -> None:
-        """Asynchronously write a chunk; tracked by the phase write group."""
-        self._write_group.add(1)
+    def _retry_wait(self, start: float, label: str) -> None:
+        """Account one completed backoff wait (trace + counter)."""
+        elapsed = self.sim.now - start
+        self.retry_wait_seconds += elapsed
+        if self._trace_on and elapsed > 0:
+            self.track.complete(
+                label, start, elapsed, cat="retry_wait",
+                args={"machine": self.machine},
+            )
+
+    def _send_write(
+        self,
+        chunk: Chunk,
+        target: int,
+        on_success: Callable,
+        attempt: int = 0,
+    ) -> None:
+        """One write RPC with integrity-nack handling.
+
+        A storage engine that received the chunk damaged in flight nacks
+        it (``write_ack`` with a ``"corrupt"`` marker); the sender still
+        holds the chunk and resends after seeded backoff — bounded, so a
+        persistently-poisoned link fails loudly instead of livelocking.
+        """
         request_id = self._new_request_id()
-
-        def on_ack(_message):
-            self._write_group.done_one()
-
-        self._pending[request_id] = on_ack
         message_kind = (
             "vwrite" if chunk.kind is ChunkKind.VERTICES else "write"
         )
+
+        def on_ack(message):
+            if message.payload[1] == "corrupt":
+                if self.fenced:
+                    return
+                if attempt >= 7:
+                    raise RuntimeError(
+                        f"engine {self.machine}: write of chunk "
+                        f"p{chunk.partition} to {target} rejected "
+                        f"{attempt + 1} times (persistent corruption)"
+                    )
+                self.write_retries += 1
+                rng = random.Random(
+                    retry_rng_seed(self.config.seed, self.machine, request_id)
+                )
+                delay = self._integrity_policy.delay(attempt, rng)
+                start = self.sim.now
+
+                def resend() -> None:
+                    if self.fenced:
+                        return
+                    self._retry_wait(start, "write.retry_wait")
+                    self._send_write(chunk, target, on_success, attempt + 1)
+
+                self.sim.schedule(delay, resend)
+                return
+            on_success(message)
+
+        self._pending[request_id] = on_ack
         self.network.send(
             src=self.machine,
             dst=target,
@@ -338,6 +405,11 @@ class ComputationEngine:
             payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
             epoch=self.epoch,
         )
+
+    def _write_chunk(self, chunk: Chunk, target: int) -> None:
+        """Asynchronously write a chunk; tracked by the phase write group."""
+        self._write_group.add(1)
+        self._send_write(chunk, target, lambda _m: self._write_group.done_one())
 
     # ------------------------------------------------------------------
     # Work stealing: master side
@@ -459,9 +531,15 @@ class ComputationEngine:
         storage engine consumed the chunk cursor, so abandoning it would
         silently lose the chunk); a read to a fenced machine is
         abandoned and the target marked exhausted — the cluster-wide
-        rollback that follows re-streams everything anyway.
+        rollback that follows re-streams everything anyway.  Re-check
+        periods follow the seeded backoff policy: the first check at the
+        configured read timeout, later ones geometrically longer
+        (capped) so a long outage is not busy-polled.
         """
-        period = self.config.effective_read_timeout()
+        rng = random.Random(
+            retry_rng_seed(self.config.seed, self.machine, request_id)
+        )
+        attempt = {"n": 0}
 
         def check() -> None:
             if self.fenced or request_id not in self._pending:
@@ -477,13 +555,70 @@ class ComputationEngine:
                 state.exhausted.add(target)
                 self._pump(state, iteration)
             else:
-                self.sim.schedule(period, check)
+                attempt["n"] += 1
+                self.sim.schedule(
+                    self._watch_policy.delay(attempt["n"], rng), check
+                )
 
-        self.sim.schedule(period, check)
+        self.sim.schedule(self._watch_policy.delay(0, rng), check)
+
+    def _retry_read(
+        self, request_id: int, target: int, callback: Callable
+    ) -> None:
+        """Re-request a chunk whose reply arrived corrupted.
+
+        ``fetch_any`` is read-once at the storage engine, so the retry
+        goes by the original ``request_id`` against the engine's
+        retransmit buffer.  Bounded: persistent corruption on one
+        request fails loudly rather than retrying forever.
+        """
+        attempt = self._read_attempts.get(request_id, 0)
+        if attempt >= 8:
+            raise RuntimeError(
+                f"engine {self.machine}: read {request_id} from {target} "
+                f"corrupt after {attempt} retries (persistent corruption)"
+            )
+        self._read_attempts[request_id] = attempt + 1
+        self.integrity_retries += 1
+        self._pending[request_id] = callback
+        rng = random.Random(
+            retry_rng_seed(self.config.seed, self.machine, request_id)
+        )
+        delay = self._integrity_policy.delay(attempt, rng)
+        start = self.sim.now
+
+        def resend() -> None:
+            if self.fenced or request_id not in self._pending:
+                return
+            self._retry_wait(start, "read.retry_wait")
+            self.network.send(
+                src=self.machine,
+                dst=target,
+                service=store_engine.SERVICE,
+                kind="read_retry",
+                size=store_engine.CONTROL_BYTES,
+                payload=(request_id, self.machine, COMPUTE_SERVICE),
+                epoch=self.epoch,
+            )
+
+        self.sim.schedule(delay, resend)
 
     def _on_chunk_reply(self, state: _StreamState, message, iteration: int) -> None:
+        request_id, chunk = message.payload
+        if (
+            chunk is not None
+            and self._integrity
+            and not verify_chunk(chunk)
+        ):
+            # Damaged in flight: leave in_flight as is and re-request.
+            self._retry_read(
+                request_id,
+                message.src,
+                lambda m: self._on_chunk_reply(state, m, iteration),
+            )
+            return
+        self._read_attempts.pop(request_id, None)
         state.in_flight -= 1
-        _request_id, chunk = message.payload
         if chunk is None:
             state.exhausted.add(message.src)
         else:
@@ -620,6 +755,8 @@ class ComputationEngine:
                 payload=payload,
                 records=count,
             )
+            if payload is not None:
+                seal_chunk(chunk)
         target = self._resolve_write_target()
         self._write_chunk(chunk, target)
 
@@ -659,15 +796,46 @@ class ComputationEngine:
             return done
         outstanding = {"count": len(sizes)}
 
-        def on_reply(_message):
+        def on_reply(message, index: int, target: int, attempt: int):
+            _rid, chunk = message.payload
+            if (
+                chunk is not None
+                and self._integrity
+                and not verify_chunk(chunk)
+            ):
+                # Corrupt in flight; vreads are idempotent (keyed), so
+                # simply re-issue after seeded backoff.  Bounded.
+                if attempt >= 8:
+                    raise RuntimeError(
+                        f"engine {self.machine}: vread p{partition}[{index}] "
+                        f"corrupt after {attempt} retries"
+                    )
+                self.integrity_retries += 1
+                rng = random.Random(
+                    retry_rng_seed(
+                        self.config.seed, self.machine, _rid
+                    )
+                )
+                delay = self._integrity_policy.delay(attempt, rng)
+                start = self.sim.now
+
+                def reissue() -> None:
+                    if self.fenced:
+                        return
+                    self._retry_wait(start, "vread.retry_wait")
+                    issue(index, target, attempt + 1)
+
+                self.sim.schedule(delay, reissue)
+                return
             outstanding["count"] -= 1
             if outstanding["count"] == 0:
                 done.trigger()
 
-        for index in range(len(sizes)):
-            target = self.vertex_placement.machine_for(partition, index)
+        def issue(index: int, target: int, attempt: int) -> None:
             request_id = self._new_request_id()
-            self._pending[request_id] = on_reply
+            self._pending[request_id] = (
+                lambda m: on_reply(m, index, target, attempt)
+            )
             self.network.send(
                 src=self.machine,
                 dst=target,
@@ -677,6 +845,9 @@ class ComputationEngine:
                 payload=(request_id, self.machine, COMPUTE_SERVICE, partition, index),
                 epoch=self.epoch,
             )
+
+        for index in range(len(sizes)):
+            issue(index, self.vertex_placement.machine_for(partition, index), 0)
         return done
 
     def _store_vertex_set(
@@ -726,17 +897,9 @@ class ComputationEngine:
                     ),
                     index=base + index,
                 )
-                request_id = self._new_request_id()
-                self._pending[request_id] = on_ack
-                self.network.send(
-                    src=self.machine,
-                    dst=target,
-                    service=store_engine.SERVICE,
-                    kind="vwrite",
-                    size=size,
-                    payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
-                    epoch=self.epoch,
-                )
+                if chunk.payload is not None:
+                    seal_chunk(chunk)
+                self._send_write(chunk, target, on_ack)
         return done
 
     # ------------------------------------------------------------------
@@ -926,16 +1089,33 @@ class ComputationEngine:
                 # Fault-tolerant steal RPC: re-arm a timeout until the
                 # reply lands or the proposed master is fenced; a dead
                 # master counts as a rejection (the rollback will give
-                # its partitions a fresh master anyway).
+                # its partitions a fresh master anyway).  Waits follow
+                # the seeded backoff policy, starting at the steal
+                # timeout; waits past the first are accounted as retry
+                # time in the trace.
                 message = None
-                period = self.config.effective_steal_timeout()
+                steal_rng = random.Random(
+                    retry_rng_seed(self.config.seed, self.machine, request_id)
+                )
+                steal_policy = RetryPolicy(
+                    base=self.config.effective_steal_timeout(),
+                    factor=1.5,
+                    cap=4.0 * self.config.effective_lease_timeout(),
+                )
+                steal_attempt = 0
                 while message is None:
+                    wait_start = self.sim.now
+                    period = steal_policy.delay(steal_attempt, steal_rng)
                     winner, value = yield self.sim.any_of(
                         [reply, self.sim.timeout(period)]
                     )
                     if winner is reply:
                         message = value
-                    elif (
+                        continue
+                    if steal_attempt > 0:
+                        self._retry_wait(wait_start, "steal.retry_wait")
+                    steal_attempt += 1
+                    if (
                         self._liveness.is_suspected(master)
                         or not self.network.is_reachable(master)
                     ):
@@ -1023,6 +1203,11 @@ class ComputationEngine:
                 payload = {
                     "snapshot": self.workload.snapshot_partition(partition),
                     "resume_iteration": resume,
+                    # Freshness metadata: restore verifies the chunk it
+                    # read belongs to the generation it asked for (a
+                    # stale-read fault serves an older, validly-sealed
+                    # version — checksums alone cannot catch that).
+                    "key": key,
                 }
                 event = self._store_vertex_set(
                     partition,

@@ -77,6 +77,14 @@ class ClusterConfig:
     #: secondary storage survives the reboot).
     restart_seconds: float = 10e-3
 
+    # -- integrity hardening -------------------------------------------------
+    #: End-to-end integrity defences: CRC32 verify-on-read of sealed
+    #: chunks, transport duplicate suppression, write-verify, and
+    #: checkpoint freshness checks.  ``False`` is a *test hook* for the
+    #: chaos fuzzer — it re-exposes the unhardened engine so byzantine
+    #: faults visibly corrupt results.  Never disable it in real runs.
+    integrity_checks: bool = True
+
     # -- optional Pregel-style combining (Section 11.1) -----------------------
     #: Pre-aggregate buffered updates sharing a destination before
     #: writing them.  The paper evaluated and rejected this ("the cost

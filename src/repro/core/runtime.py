@@ -37,7 +37,7 @@ from repro.partition.streaming import (
     choose_partition_count,
     partition_edges,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import DeadlineExceeded, Simulator
 from repro.sim.sync import Barrier
 from repro.store.chunk import Chunk, ChunkKind, split_into_chunks
 from repro.store.engine import StorageEngine
@@ -157,6 +157,10 @@ class ChaosCluster:
         #: :class:`repro.faults.FaultTimeline` of the most recent
         #: fault-injected run (``None`` for fault-free runs).
         self.last_fault_timeline = None
+        #: :class:`repro.faults.CheckpointRegistry` of the most recent
+        #: fault-injected run (quarantine/repair counters; ``None`` for
+        #: fault-free runs).
+        self.last_registry = None
 
     # ------------------------------------------------------------------
     # Functional (data) mode
@@ -169,6 +173,7 @@ class ChaosCluster:
         initial_values=None,
         start_iteration: int = 0,
         fault_plan=None,
+        deadline_seconds: Optional[float] = None,
     ) -> JobResult:
         """Execute ``algorithm`` on ``edges`` and return the result.
 
@@ -187,6 +192,11 @@ class ChaosCluster:
         notices, and the cluster rolls back to the latest durable
         checkpoint and re-executes.  The final values are byte-identical
         to the fault-free run's for the same config and seed.
+
+        ``deadline_seconds`` arms a simulated-time watchdog: if the run
+        has not completed by that time, :class:`DeadlineExceeded` is
+        raised instead of simulating a wedged cluster forever.  The
+        chaos fuzzer uses this to turn hangs into reportable violations.
         """
         config = self.config
         if algorithm.needs_weights and not edges.weighted:
@@ -216,6 +226,7 @@ class ChaosCluster:
             ),
             start_iteration=start_iteration,
             fault_plan=fault_plan,
+            deadline_seconds=deadline_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -373,6 +384,20 @@ class ChaosCluster:
             )
         return sampler
 
+    @staticmethod
+    def _arm_deadline(sim: Simulator, deadline_seconds: Optional[float]) -> None:
+        """Schedule the watchdog; a completed run never reaches it."""
+        if deadline_seconds is None:
+            return
+
+        def expire() -> None:
+            raise DeadlineExceeded(
+                f"run exceeded simulated deadline of {deadline_seconds:g}s "
+                f"(possible livelock or recovery loop)"
+            )
+
+        sim.schedule(deadline_seconds, expire)
+
     def _execute(
         self,
         workload: Workload,
@@ -381,6 +406,7 @@ class ChaosCluster:
         edge_chunk_loader,
         start_iteration: int = 0,
         fault_plan=None,
+        deadline_seconds: Optional[float] = None,
     ) -> JobResult:
         if fault_plan is not None and fault_plan:
             return self._execute_with_faults(
@@ -390,8 +416,10 @@ class ChaosCluster:
                 edge_chunk_loader,
                 start_iteration,
                 fault_plan,
+                deadline_seconds,
             )
         self.last_fault_timeline = None
+        self.last_registry = None
         config = self.config
         sim = Simulator()
         tracer = self.tracer
@@ -428,6 +456,7 @@ class ChaosCluster:
         network = Network(
             sim, config.machines, config.network, tracer=tracer,
             sanitizer=sanitizer, host=self.host,
+            integrity=config.integrity_checks,
         )
         stores = [
             StorageEngine(
@@ -439,9 +468,12 @@ class ChaosCluster:
                 tracer=tracer,
                 sanitizer=sanitizer,
                 host=self.host,
+                integrity=config.integrity_checks,
+                job_track=job_track if job_track is not None else NULL_TRACK,
             )
             for m in range(config.machines)
         ]
+        self._arm_deadline(sim, deadline_seconds)
         # Stable seed (string hash() is salted per process).
         placement_rng = random.Random(config.seed * 1_000_003 + 99991)
         edge_chunk_loader(placement_rng, stores)
@@ -528,6 +560,7 @@ class ChaosCluster:
         edge_chunk_loader,
         start_iteration: int,
         fault_plan,
+        deadline_seconds: Optional[float] = None,
     ) -> JobResult:
         """Fault-injected execution: epochs, detection, live recovery.
 
@@ -592,19 +625,26 @@ class ChaosCluster:
         network = Network(
             sim, config.machines, config.network, tracer=tracer,
             host=self.host, extra_endpoints=1,
+            integrity=config.integrity_checks,
         )
         stores = [
             StorageEngine(
                 sim, network, m, config.device, self.backend_factory(m),
                 tracer=tracer, host=self.host,
+                integrity=config.integrity_checks,
+                job_track=job_track if job_track is not None else NULL_TRACK,
             )
             for m in range(config.machines)
         ]
+        self._arm_deadline(sim, deadline_seconds)
         placement_rng = random.Random(config.seed * 1_000_003 + 99991)
         edge_chunk_loader(placement_rng, stores)
         self._place_vertex_chunks(workload, layout, stores)
 
         registry = CheckpointRegistry(layout.num_partitions)
+        # Bound immediately (not just on success) so a diagnosed run's
+        # quarantine counters stay inspectable after the exception.
+        self.last_registry = registry
         detector = FailureDetector(
             sim,
             network,
@@ -691,6 +731,7 @@ class ChaosCluster:
         self.last_stores = stores
         self.last_network = network
         self.last_fault_timeline = supervisor.timeline
+        self.last_registry = registry
 
         # Assemble the result across epochs: wall-time categories and
         # I/O counters sum over every epoch's engines (re-executed work
@@ -747,6 +788,7 @@ def run_algorithm(
     sanitizer=None,
     host=None,
     fault_plan=None,
+    deadline_seconds=None,
     **config_overrides,
 ) -> JobResult:
     """Convenience one-shot entry point.
@@ -767,4 +809,7 @@ def run_algorithm(
     elif config_overrides:
         config = config.with_(**config_overrides)
     cluster = ChaosCluster(config, tracer=tracer, sanitizer=sanitizer, host=host)
-    return cluster.run(algorithm, edges, fault_plan=fault_plan)
+    return cluster.run(
+        algorithm, edges, fault_plan=fault_plan,
+        deadline_seconds=deadline_seconds,
+    )

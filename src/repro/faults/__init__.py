@@ -25,8 +25,10 @@ from repro.faults.detector import (
     FailureDetector,
     HeartbeatSender,
 )
+from repro.faults.diagnosis import JobDiagnosis, UnrecoverableJobError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    BYZANTINE_KINDS,
     FaultKind,
     FaultPlan,
     FaultSpec,
@@ -42,6 +44,7 @@ from repro.faults.supervisor import (
 )
 
 __all__ = [
+    "BYZANTINE_KINDS",
     "HEARTBEAT_BYTES",
     "MEMBERSHIP_SERVICE",
     "RESTORE_SERVICE",
@@ -56,6 +59,8 @@ __all__ = [
     "FaultSpec",
     "FaultTimeline",
     "HeartbeatSender",
+    "JobDiagnosis",
     "RecoveryRound",
+    "UnrecoverableJobError",
     "parse_fault_spec",
 ]

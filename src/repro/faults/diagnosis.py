@@ -1,0 +1,65 @@
+"""Structured diagnosis for unrecoverable runs (graceful degradation).
+
+The paper's recovery protocol assumes transient failures: secondary
+storage survives, so some replica of every durable checkpoint chunk is
+readable.  Byzantine storage faults can violate that assumption — every
+replica of a chunk may rot.  Rather than hang the restore loop or die
+with a bare traceback, the supervisor raises
+:class:`UnrecoverableJobError` carrying a :class:`JobDiagnosis`: which
+chunk is unreadable, which replicas were quarantined, and what the
+operator can do about it.  The CLI renders the diagnosis and exits with
+a distinct status (3) so scripted chaos campaigns can tell "the job
+correctly refused to resume from damaged state" apart from crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class JobDiagnosis:
+    """Why a run could not complete, in operator terms."""
+
+    #: Short machine-readable cause, e.g. ``checkpoint-unreadable``.
+    cause: str
+    #: One-line human explanation.
+    detail: str
+    #: Simulated time the run was abandoned.
+    at_time: float
+    #: Recovery epoch that was being restored.
+    epoch: int
+    #: Replica locations (machine, partition, store_index) found corrupt.
+    quarantined: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: What the operator should do next.
+    remediation: str = (
+        "restore the checkpoint media from an external backup, or rerun "
+        "the job from its initial state (drop --checkpoint-interval "
+        "resume by deleting the damaged generation)"
+    )
+
+    def render(self) -> str:
+        lines = [
+            f"unrecoverable job: {self.cause}",
+            f"  {self.detail}",
+            f"  abandoned at t={self.at_time:.6f} (recovery epoch "
+            f"{self.epoch})",
+        ]
+        if self.quarantined:
+            lines.append("  quarantined replicas:")
+            for machine, partition, index in self.quarantined:
+                lines.append(
+                    f"    machine {machine}: partition {partition}, "
+                    f"chunk index {index}"
+                )
+        lines.append(f"  remediation: {self.remediation}")
+        return "\n".join(lines)
+
+
+class UnrecoverableJobError(RuntimeError):
+    """The run cannot make progress and has been cleanly abandoned."""
+
+    def __init__(self, diagnosis: JobDiagnosis):
+        super().__init__(diagnosis.detail)
+        self.diagnosis = diagnosis

@@ -61,5 +61,25 @@ class FaultInjector:
                 supervisor.restore_device,
                 machine,
             )
+        elif spec.kind is FaultKind.MSG_CORRUPT:
+            supervisor.corrupt_messages(machine, spec.effective_count())
+        elif spec.kind is FaultKind.MSG_DUP:
+            supervisor.duplicate_messages(machine, spec.effective_count())
+        elif spec.kind is FaultKind.MSG_REORDER:
+            supervisor.reorder_messages(
+                machine,
+                spec.effective_count(),
+                spec.effective_delay(self.config),
+            )
+        elif spec.kind is FaultKind.CHUNK_BITFLIP:
+            supervisor.corrupt_chunk_reads(machine, spec.effective_count())
+        elif spec.kind is FaultKind.TORN_WRITE:
+            supervisor.tear_chunk_writes(machine, spec.effective_count())
+        elif spec.kind is FaultKind.STALE_READ:
+            supervisor.serve_stale_reads(machine, spec.effective_count())
+        elif spec.kind is FaultKind.CKPT_CORRUPT:
+            supervisor.corrupt_checkpoint_replicas(
+                machine, spec.effective_count()
+            )
         else:  # pragma: no cover - exhaustive over FaultKind
             raise ValueError(f"unhandled fault kind {spec.kind!r}")

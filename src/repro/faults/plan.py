@@ -15,6 +15,13 @@ The CLI grammar (``--inject-fault SPEC``, repeatable)::
     crash-restart:2@iter=3      # fail-stop + self-reboot (restart_seconds)
     partition:0@t=0.1,for=0.02  # network partition for 20 ms
     slow-device:1@iter=2,factor=8,for=0.05   # device 8x slower for 50 ms
+    msg-corrupt:1@iter=2,count=2   # next 2 chunk frames to m1 corrupted
+    msg-dup:0@t=0.05               # next message to m0 delivered twice
+    msg-reorder:1@iter=1,delay=0.002  # next frame to m1 held 2 ms
+    chunk-bitflip:1@iter=2         # next served chunk bit-flipped
+    torn-write:0@iter=1,count=2    # next 2 persisted chunks torn
+    stale-read:1@iter=2            # next vread returns prior version
+    ckpt-corrupt:1@iter=3          # corrupt a durable checkpoint replica
 
 ``crash`` and ``crash-restart`` share mechanics (fail-stop, in-memory
 state lost, secondary storage survives — the paper's transient-failure
@@ -23,6 +30,19 @@ stays down until the cluster's recovery procedure reboots it
 (``config.restart_seconds`` after recovery begins), while
 ``crash-restart`` reboots on its own ``down`` seconds after the crash —
 possibly before the failure detector has even noticed.
+
+The byzantine family (message corruption / duplication / reordering,
+chunk bit-flips, torn writes, stale reads, checkpoint-replica rot)
+models *silent* damage rather than fail-stop: nothing crashes, data is
+just wrong.  Each byzantine spec arms a budget of ``count`` damaged
+operations on the victim machine; the integrity hardening
+(``config.integrity_checks``) must detect and repair every one of them
+for the run to stay byte-identical to the undisturbed run.
+
+Plans round-trip through files: :meth:`FaultPlan.dump` writes one
+``describe()`` line per spec (with ``#`` comments), and
+:meth:`FaultPlan.load` reads them back — the chaos fuzzer's shrunk
+reproducers are exactly such files.
 """
 
 from __future__ import annotations
@@ -39,6 +59,27 @@ class FaultKind(Enum):
     CRASH_RESTART = "crash-restart"
     PARTITION = "partition"
     SLOW_DEVICE = "slow-device"
+    MSG_CORRUPT = "msg-corrupt"
+    MSG_DUP = "msg-dup"
+    MSG_REORDER = "msg-reorder"
+    CHUNK_BITFLIP = "chunk-bitflip"
+    TORN_WRITE = "torn-write"
+    STALE_READ = "stale-read"
+    CKPT_CORRUPT = "ckpt-corrupt"
+
+
+#: The silent-damage fault family (no fail-stop, just wrong data).
+BYZANTINE_KINDS = frozenset(
+    {
+        FaultKind.MSG_CORRUPT,
+        FaultKind.MSG_DUP,
+        FaultKind.MSG_REORDER,
+        FaultKind.CHUNK_BITFLIP,
+        FaultKind.TORN_WRITE,
+        FaultKind.STALE_READ,
+        FaultKind.CKPT_CORRUPT,
+    }
+)
 
 
 #: Default partition duration, in lease units: long enough that the
@@ -62,6 +103,10 @@ class FaultSpec:
     duration: Optional[float] = None
     #: Device slowdown factor (slow-device only).
     factor: Optional[float] = None
+    #: Budget of damaged operations (byzantine kinds; default 1).
+    count: Optional[int] = None
+    #: Hold time for reordered frames (msg-reorder only).
+    delay: Optional[float] = None
 
     def validate(self, config) -> None:
         """Check the spec against a concrete cluster configuration."""
@@ -119,6 +164,37 @@ class FaultSpec:
             raise ValueError(
                 f"fault {self.describe()}: use down= (not for=) with crashes"
             )
+        if self.kind in BYZANTINE_KINDS:
+            if self.duration is not None or self.factor is not None:
+                raise ValueError(
+                    f"fault {self.describe()}: for=/factor= do not apply "
+                    f"to byzantine faults"
+                )
+            if self.kind is FaultKind.CKPT_CORRUPT and not config.checkpointing:
+                raise ValueError(
+                    f"fault {self.describe()}: ckpt-corrupt needs "
+                    f"checkpointing enabled"
+                )
+        if self.count is not None:
+            if self.kind not in BYZANTINE_KINDS:
+                raise ValueError(
+                    f"fault {self.describe()}: count= only applies to "
+                    f"byzantine faults"
+                )
+            if self.count < 1:
+                raise ValueError(
+                    f"fault {self.describe()}: count= must be >= 1"
+                )
+        if self.delay is not None:
+            if self.kind is not FaultKind.MSG_REORDER:
+                raise ValueError(
+                    f"fault {self.describe()}: delay= only applies to "
+                    f"msg-reorder"
+                )
+            if self.delay <= 0:
+                raise ValueError(
+                    f"fault {self.describe()}: delay= must be > 0"
+                )
 
     def effective_duration(self, config) -> float:
         """Partition / slow-device duration with the config default."""
@@ -134,13 +210,36 @@ class FaultSpec:
             return config.restart_seconds
         return None
 
+    def effective_count(self) -> int:
+        """Damaged-operation budget (byzantine kinds; default 1)."""
+        return 1 if self.count is None else self.count
+
+    def effective_delay(self, config) -> float:
+        """Reorder hold time with the config default (one heartbeat)."""
+        if self.delay is not None:
+            return self.delay
+        return config.heartbeat_interval
+
     def describe(self) -> str:
+        """Canonical spec string; parses back to an equal spec."""
         trigger = (
             f"t={self.at_time:g}"
             if self.at_time is not None
             else f"iter={self.at_iteration}"
         )
-        return f"{self.kind.value}:{self.machine}@{trigger}"
+        options = []
+        if self.down is not None:
+            options.append(f"down={self.down:g}")
+        if self.duration is not None:
+            options.append(f"for={self.duration:g}")
+        if self.factor is not None:
+            options.append(f"factor={self.factor:g}")
+        if self.count is not None:
+            options.append(f"count={self.count}")
+        if self.delay is not None:
+            options.append(f"delay={self.delay:g}")
+        tail = ("," + ",".join(options)) if options else ""
+        return f"{self.kind.value}:{self.machine}@{trigger}{tail}"
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -189,10 +288,19 @@ def parse_fault_spec(text: str) -> FaultSpec:
             fields["duration"] = _parse_float(text, key, value)
         elif key == "factor":
             fields["factor"] = _parse_float(text, key, value)
+        elif key == "count":
+            try:
+                fields["count"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault spec {text!r}: bad count= value {value!r}"
+                ) from None
+        elif key == "delay":
+            fields["delay"] = _parse_float(text, key, value)
         else:
             raise ValueError(
                 f"fault spec {text!r}: unknown option {key!r} "
-                f"(expected down=, for=, or factor=)"
+                f"(expected down=, for=, factor=, count=, or delay=)"
             )
     return FaultSpec(kind=kind, machine=machine, **fields)
 
@@ -216,6 +324,26 @@ class FaultPlan:
     def parse(cls, spec_texts) -> "FaultPlan":
         """Build a plan from CLI ``--inject-fault`` spec strings."""
         return cls(specs=tuple(parse_fault_spec(t) for t in spec_texts))
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan file: one spec per line, ``#`` starts a comment."""
+        specs = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                specs.append(parse_fault_spec(text))
+        return cls(specs=tuple(specs))
+
+    def dump(self, path, header=()) -> None:
+        """Write the plan as a replayable ``--inject-fault`` file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in header:
+                handle.write(f"# {line}\n")
+            for spec in self.specs:
+                handle.write(spec.describe() + "\n")
 
     def validate(self, config) -> None:
         for spec in self.specs:

@@ -17,7 +17,7 @@ same chunk stores and are read back through the same storage protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 #: Vertex-chunk index bases of the two checkpoint slots (double buffer).
 SLOT_BASES = (1_000_000, 2_000_000)
@@ -49,6 +49,13 @@ class CheckpointRegistry:
         self._rounds: Dict[Tuple[int, int, int], list] = {}
         #: Rounds that completed (telemetry).
         self.rounds_completed = 0
+        #: Replica locations (machine, partition, store_index) whose
+        #: stored chunk failed integrity verification during a restore.
+        #: Quarantined replicas are skipped until re-replication
+        #: overwrites them with a verified copy.
+        self._quarantined: Set[Tuple[int, int, int]] = set()
+        self.replicas_quarantined = 0
+        self.replicas_repaired = 0
 
     def round_slot(self, key: Tuple[int, int, int], resume_iteration: int) -> int:
         """The slot for round ``key`` (first caller opens the round).
@@ -89,3 +96,30 @@ class CheckpointRegistry:
 
     def latest_durable(self) -> Optional[CheckpointGeneration]:
         return self._durable
+
+    # -- corrupt-replica quarantine -----------------------------------
+
+    def quarantine_replica(
+        self, machine: int, partition: int, store_index: int
+    ) -> bool:
+        """Mark one replica location as corrupt; True if newly marked."""
+        key = (machine, partition, store_index)
+        if key in self._quarantined:
+            return False
+        self._quarantined.add(key)
+        self.replicas_quarantined += 1
+        return True
+
+    def is_quarantined(
+        self, machine: int, partition: int, store_index: int
+    ) -> bool:
+        return (machine, partition, store_index) in self._quarantined
+
+    def clear_quarantine(
+        self, machine: int, partition: int, store_index: int
+    ) -> None:
+        """Re-replication rewrote the replica with a verified copy."""
+        key = (machine, partition, store_index)
+        if key in self._quarantined:
+            self._quarantined.discard(key)
+            self.replicas_repaired += 1

@@ -36,16 +36,21 @@ against the timeline totals.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import compute as compute_engine
 from repro.faults.detector import HeartbeatSender
+from repro.faults.diagnosis import JobDiagnosis, UnrecoverableJobError
 from repro.faults.plan import FaultSpec
+from repro.faults.registry import SLOT_BASES
+from repro.net.retry import RetryPolicy, retry_rng_seed
 from repro.obs.tracer import NULL_TRACK
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.store import engine as store_engine
 from repro.store.chunk import ChunkKind
+from repro.store.integrity import verify_chunk
 from repro.store.placement import HashedVertexPlacement
 
 #: Service name of the per-machine restore worker mailboxes.
@@ -340,6 +345,40 @@ class ClusterSupervisor:
     def restore_device(self, machine: int) -> None:
         self.stores[machine].restore_device()
 
+    # -- byzantine fault arms (silent damage, no fail-stop) ------------
+
+    def corrupt_messages(self, machine: int, count: int) -> None:
+        """Corrupt the next ``count`` chunk frames delivered to machine."""
+        self.network.inject_fault(machine, "corrupt", count=count)
+
+    def duplicate_messages(self, machine: int, count: int) -> None:
+        """Deliver the next ``count`` frames to machine twice."""
+        self.network.inject_fault(machine, "dup", count=count)
+
+    def reorder_messages(self, machine: int, count: int, delay: float) -> None:
+        """Hold the next ``count`` frames to machine for ``delay``s."""
+        self.network.inject_fault(machine, "reorder", count=count, delay=delay)
+
+    def corrupt_chunk_reads(self, machine: int, count: int) -> None:
+        """Bit-flip the next ``count`` chunks machine's device serves."""
+        self.stores[machine].inject_read_corruption(count)
+
+    def tear_chunk_writes(self, machine: int, count: int) -> None:
+        """Tear the next ``count`` chunks machine's device persists."""
+        self.stores[machine].inject_write_corruption(count)
+
+    def serve_stale_reads(self, machine: int, count: int) -> None:
+        """Serve prior versions for machine's next ``count`` vreads."""
+        self.stores[machine].inject_stale_reads(count)
+
+    def corrupt_checkpoint_replicas(self, machine: int, count: int) -> int:
+        """Rot up to ``count`` durable checkpoint chunks on machine's
+        store in place (persistent damage — survives until quarantine +
+        re-replication rewrites them).  Returns how many were hit."""
+        return self.stores[machine].corrupt_stored_checkpoint(
+            count, SLOT_BASES[0]
+        )
+
     # ------------------------------------------------------------------
     # Availability bookkeeping
     # ------------------------------------------------------------------
@@ -560,7 +599,7 @@ class _RestoreClient:
                 snapshot = None
                 for index in range(count):
                     chunk = yield from self._read_chunk(
-                        partition, index, base + index
+                        partition, index, base + index, generation
                     )
                     if index == 0:
                         snapshot = chunk.payload
@@ -587,26 +626,79 @@ class _RestoreClient:
         # the worker reports done (local sends deliver via the scheduler).
         yield self.sim.timeout(0.0)
 
-    def _read_chunk(self, partition: int, raw_index: int, store_index: int):
-        """Read one checkpoint chunk, cycling over its replicas.
+    def _read_chunk(
+        self, partition: int, raw_index: int, store_index: int, generation=None
+    ):
+        """Read one checkpoint chunk, cycling over its healthy replicas.
 
         Post-admission every machine is reachable, but a fresh fault may
-        strike mid-restore; a timed-out read is retried against the next
-        replica (the supervisor re-runs the whole restore if the cluster
-        degrades, so this only needs to avoid deadlock, not be clever).
+        strike mid-restore; a timed-out read backs off (deterministic
+        seeded jitter) and tries the next replica.  With integrity
+        checks on, every reply is checksum-verified and snapshot chunks
+        are freshness-checked against the generation being restored: a
+        replica serving rotted bytes is quarantined (and re-replicated
+        from a verified copy before the read returns), while a
+        validly-sealed but *old* version — the stale-read fault — is
+        simply re-read.  When every replica of a chunk is quarantined
+        the job is cleanly abandoned with a structured diagnosis rather
+        than retrying forever.
         """
         sup = self.sup
+        config = sup.config
+        registry = sup.registry
+        integrity = config.integrity_checks
         targets = sup.vertex_placement.machines_for(
-            partition, raw_index, sup.config.vertex_replicas
+            partition, raw_index, config.vertex_replicas
         )
-        period = sup.config.effective_read_timeout()
+        period = config.effective_read_timeout()
+        policy = RetryPolicy(
+            base=config.heartbeat_interval / 4.0,
+            factor=2.0,
+            cap=config.effective_lease_timeout(),
+        )
         missing = 0
         attempt = 0
         while True:
-            target = targets[attempt % len(targets)]
+            healthy = [
+                t
+                for t in targets
+                if not registry.is_quarantined(t, partition, store_index)
+            ]
+            if not healthy:
+                raise UnrecoverableJobError(
+                    JobDiagnosis(
+                        cause="checkpoint-unreadable",
+                        detail=(
+                            f"every replica of checkpoint chunk (partition "
+                            f"{partition}, index {store_index}) failed "
+                            f"integrity verification"
+                        ),
+                        at_time=self.sim.now,
+                        epoch=self.epoch,
+                        quarantined=[
+                            (t, partition, store_index) for t in targets
+                        ],
+                    )
+                )
+            target = healthy[attempt % len(healthy)]
+            request_id = self._new_id()
+            if attempt > 0:
+                # Bounded deterministic backoff between attempts, so a
+                # flapping replica is polled, not hammered.
+                rng = random.Random(
+                    retry_rng_seed(config.seed, self.machine, request_id)
+                )
+                wait_start = self.sim.now
+                yield self.sim.timeout(policy.delay(attempt - 1, rng))
+                sup.job_track.complete(
+                    "restore.retry_wait",
+                    wait_start,
+                    self.sim.now - wait_start,
+                    cat="retry_wait",
+                    args={"machine": self.machine, "partition": partition},
+                )
             attempt += 1
             reply = Event(self.sim, name=f"restore.read.p{partition}")
-            request_id = self._new_id()
             self._pending[request_id] = reply.trigger
             sup.network.send(
                 src=self.machine,
@@ -630,11 +722,91 @@ class _RestoreClient:
                 self._pending.pop(request_id, None)
                 continue
             _rid, chunk = value.payload
-            if chunk is not None:
-                return chunk
-            missing += 1
-            if missing >= len(targets):
-                raise SimulationError(
-                    f"no replica holds durable checkpoint chunk "
-                    f"(partition {partition}, index {store_index})"
+            if chunk is None:
+                missing += 1
+                if missing >= len(targets):
+                    raise SimulationError(
+                        f"no replica holds durable checkpoint chunk "
+                        f"(partition {partition}, index {store_index})"
+                    )
+                continue
+            if integrity and not verify_chunk(chunk):
+                # Rotted replica (or in-flight corruption — either way
+                # the copy that would land is untrustworthy): quarantine
+                # the source and try another; re-replication rewrites it
+                # from a verified copy once one is found.
+                if registry.quarantine_replica(target, partition, store_index):
+                    sup.job_track.instant(
+                        "integrity.ckpt_quarantine",
+                        cat="integrity",
+                        args={
+                            "machine": target,
+                            "partition": partition,
+                            "index": store_index,
+                        },
+                    )
+                continue
+            if (
+                integrity
+                and generation is not None
+                and isinstance(chunk.payload, dict)
+                and "key" in chunk.payload
+                and tuple(chunk.payload["key"]) != tuple(generation.key)
+            ):
+                # Validly-sealed but *old* data (the stale-read fault):
+                # the checksum passes, the freshness key does not.
+                sup.job_track.instant(
+                    "integrity.stale_restore",
+                    cat="integrity",
+                    args={"machine": target, "partition": partition},
                 )
+                continue
+            if integrity:
+                yield from self._reprotect(
+                    chunk, partition, store_index, targets
+                )
+            return chunk
+
+    def _reprotect(self, chunk, partition, store_index, targets):
+        """Re-replicate a verified chunk over its quarantined replicas.
+
+        Best-effort by design: a repair write that times out or is
+        nacked leaves the replica quarantined for the next recovery to
+        retry — the restore itself never blocks on repair.
+        """
+        sup = self.sup
+        registry = sup.registry
+        for target in targets:
+            if not registry.is_quarantined(target, partition, store_index):
+                continue
+            start = self.sim.now
+            ack = Event(self.sim, name=f"restore.rereplicate.p{partition}")
+            request_id = self._new_id()
+            self._pending[request_id] = ack.trigger
+            sup.network.send(
+                src=self.machine,
+                dst=target,
+                service=store_engine.SERVICE,
+                kind="vwrite",
+                size=chunk.size,
+                payload=(request_id, self.machine, RESTORE_SERVICE, chunk),
+                epoch=self.epoch,
+            )
+            winner, value = yield self.sim.any_of(
+                [ack, self.sim.timeout(sup.config.effective_read_timeout())]
+            )
+            if winner is not ack or value.payload[1] is not None:
+                self._pending.pop(request_id, None)
+                continue
+            registry.clear_quarantine(target, partition, store_index)
+            sup.job_track.complete(
+                "integrity.rereplicate",
+                start,
+                self.sim.now - start,
+                cat="integrity",
+                args={
+                    "machine": target,
+                    "partition": partition,
+                    "index": store_index,
+                },
+            )

@@ -1,0 +1,69 @@
+"""Deterministic bounded retry with seeded exponential backoff + jitter.
+
+Every retried RPC in the engine (chunk reads, steal proposals, restore
+reads, integrity re-requests) draws its wait schedule from here.  Two
+properties matter:
+
+* **Determinism** — the jitter RNG is seeded from ``(config.seed,
+  machine, request_id)``, so a retried schedule is a pure function of
+  the run's identity and the byte-identical recovery invariant holds.
+* **Boundedness** — the schedule is geometric with a cap; after
+  ``attempts`` waits it repeats the capped delay forever, so a caller
+  polling a slow-but-alive peer keeps making progress without the
+  unbounded blow-up a naive ``2**n`` gives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["RetryPolicy", "backoff_delays", "retry_rng_seed"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Geometric backoff schedule: ``base * factor**n``, capped."""
+
+    base: float
+    factor: float = 2.0
+    cap: float = float("inf")
+    #: Waits that grow; past this the capped delay repeats.
+    attempts: int = 6
+    #: Jitter fraction: each delay is scaled by ``1 - jitter*u`` with
+    #: ``u`` uniform in [0, 1), i.e. jitter only ever *shortens* a wait
+    #: so the policy's cap stays a true upper bound.
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError(f"base must be positive, got {self.base}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The ``attempt``-th wait (0-based), with seeded jitter."""
+        exponent = min(attempt, self.attempts - 1)
+        raw = min(self.base * (self.factor ** exponent), self.cap)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+def retry_rng_seed(config_seed: int, machine: int, request_id: int) -> int:
+    """Stable per-request jitter seed (same scheme as the engine RNGs)."""
+    return config_seed * 1_000_003 + machine * 7919 + request_id * 31 + 17
+
+
+def backoff_delays(
+    policy: RetryPolicy, config_seed: int, machine: int, request_id: int
+) -> Iterator[float]:
+    """Endless deterministic delay sequence for one logical RPC."""
+    rng = random.Random(retry_rng_seed(config_seed, machine, request_id))
+    attempt = 0
+    while True:
+        yield policy.delay(attempt, rng)
+        attempt += 1

@@ -46,6 +46,88 @@ class Message:
     #: traffic (a write straggling in from before a rollback) by
     #: comparing this against their own epoch; 0 for fault-free runs.
     epoch: int = 0
+    #: Transport sequence number within the (src, dst, service) stream;
+    #: drives receiver-side duplicate suppression.  ``None`` for local
+    #: (same-machine) handoffs, which cannot be duplicated by the fabric.
+    seq: Any = None
+
+
+class _DedupWindow:
+    """Per-stream duplicate filter: contiguous floor + out-of-order set.
+
+    Everything ``<= floor`` has been delivered; ``seen`` holds delivered
+    sequence numbers above the floor (reordering opens gaps; drops leave
+    them forever, so the floor is force-advanced past a bounded window
+    to keep ``seen`` small).
+    """
+
+    WINDOW = 4096
+
+    __slots__ = ("floor", "seen")
+
+    def __init__(self):
+        self.floor = 0
+        self.seen = set()
+
+    def accept(self, seq: int) -> bool:
+        """True iff ``seq`` is new; records it as delivered."""
+        if seq <= self.floor or seq in self.seen:
+            return False
+        self.seen.add(seq)
+        while self.floor + 1 in self.seen:
+            self.floor += 1
+            self.seen.discard(self.floor)
+        if seq - self.WINDOW > self.floor:
+            # Dropped messages leave permanent gaps; slide the floor so
+            # the out-of-order set stays bounded.
+            self.floor = seq - self.WINDOW
+            self.seen = {s for s in self.seen if s > self.floor}
+        return True
+
+
+class _TransportFault:
+    """One armed byzantine fabric fault at a receiving endpoint."""
+
+    __slots__ = ("kind", "count", "delay")
+
+    def __init__(self, kind: str, count: int, delay: float):
+        if kind not in ("corrupt", "dup", "reorder"):
+            raise SimulationError(f"unknown transport fault {kind!r}")
+        if count < 1:
+            raise SimulationError(f"fault count must be >= 1, got {count}")
+        self.kind = kind
+        self.count = count
+        self.delay = delay
+
+
+def _chunk_slot(message: Message):
+    """Index of the Chunk inside a tuple payload, or None.
+
+    Chunk-carrying wire formats: ``read_reply``/``vread_reply`` carry
+    ``(request_id, chunk)``; ``write``/``vwrite`` carry ``(request_id,
+    requester, reply_service, chunk)``.
+    """
+    from repro.store.chunk import Chunk
+
+    payload = message.payload
+    if not isinstance(payload, tuple):
+        return None
+    for slot, item in enumerate(payload):
+        if isinstance(item, Chunk) and item.payload is not None:
+            return slot
+    return None
+
+
+def _corrupt_in_place(message: Message) -> None:
+    """Replace the chunk in a message payload with a corrupted copy."""
+    from repro.store.integrity import corrupt_chunk
+
+    slot = _chunk_slot(message)
+    if slot is None:
+        return
+    payload = list(message.payload)
+    payload[slot] = corrupt_chunk(payload[slot])
+    message.payload = tuple(payload)
 
 
 class Network:
@@ -63,6 +145,7 @@ class Network:
         sanitizer=None,
         host=None,
         extra_endpoints: int = 0,
+        integrity: bool = True,
     ):
         """``extra_endpoints`` adds management endpoints beyond the
         compute machines (the fault-injection runtime attaches its
@@ -89,6 +172,18 @@ class Network:
         self._reachable = [True] * (machines + extra_endpoints)
         #: Remote messages dropped because either end was unreachable.
         self.messages_dropped = 0
+        # Integrity hardening: per-stream sequence numbers and receiver
+        # side duplicate suppression (gated by config.integrity_checks).
+        self._integrity = integrity
+        self._seq: Dict[Tuple[int, int, str], int] = {}
+        self._dedup: Dict[Tuple[int, str, int], _DedupWindow] = {}
+        #: Duplicate deliveries filtered by the sequence-number window.
+        self.duplicates_suppressed = 0
+        # Armed byzantine fabric faults, keyed by receiving endpoint.
+        self._pending_faults: Dict[int, list] = {}
+        self.messages_corrupted = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
         self._san = (
             sanitizer if sanitizer is not None and sanitizer.enabled else None
         )
@@ -148,6 +243,43 @@ class Network:
     def _drop(self, message: Message) -> None:
         self.messages_dropped += 1
 
+    # -- fault state (byzantine fabric faults) ----------------------------
+
+    def inject_fault(
+        self, endpoint: int, kind: str, count: int = 1, delay: float = 0.0
+    ) -> None:
+        """Arm a byzantine fault on the next ``count`` applicable
+        messages *received* by ``endpoint``.
+
+        ``kind`` is one of ``corrupt`` (perturb the chunk payload in
+        flight — applies only to chunk-carrying messages, and stays
+        armed until one arrives), ``dup`` (deliver the message twice,
+        charging ingress twice), or ``reorder`` (hold the message at
+        the switch for ``delay`` seconds, letting later traffic on the
+        stream overtake it).
+        """
+        if not 0 <= endpoint < len(self.nics):
+            raise SimulationError(f"invalid endpoint {endpoint}")
+        fault = _TransportFault(kind, count, delay)
+        self._pending_faults.setdefault(endpoint, []).append(fault)
+
+    def _take_fault(self, dst: int, message: Message):
+        """Consume and return the first armed fault applicable to
+        ``message``, or None."""
+        plan = self._pending_faults.get(dst)
+        if not plan:
+            return None
+        for fault in plan:
+            if fault.kind == "corrupt" and _chunk_slot(message) is None:
+                continue  # stays armed for the next chunk-carrying message
+            fault.count -= 1
+            if fault.count == 0:
+                plan.remove(fault)
+                if not plan:
+                    del self._pending_faults[dst]
+            return fault
+        return None
+
     # -- sending ---------------------------------------------------------
 
     def send(
@@ -191,6 +323,10 @@ class Network:
         mailbox = self.mailbox(dst, service)
         delivered = Event(self.sim, name=f"deliver.{kind}")
 
+        if src != dst:
+            stream = (src, dst, service)
+            self._seq[stream] = message.seq = self._seq.get(stream, 0) + 1
+
         if src == dst:
             # Local delivery: intra-process handoff, no network cost.
             self.sim.schedule(0.0, self._deliver, mailbox, message, delivered)
@@ -226,11 +362,36 @@ class Network:
         mailbox: Mailbox,
         message: Message,
         delivered: Event,
+        pristine: bool = True,
     ) -> None:
         if not self._reachable[dst]:
             # The receiver died while the message crossed the switch.
             self._drop(message)
             return
+        if pristine:
+            fault = self._take_fault(dst, message)
+            if fault is not None:
+                if fault.kind == "corrupt":
+                    _corrupt_in_place(message)
+                    self.messages_corrupted += 1
+                elif fault.kind == "reorder":
+                    # Hold the frame at the switch; later traffic on the
+                    # stream overtakes it (bounded reordering).
+                    self.messages_reordered += 1
+                    self.sim.schedule(
+                        fault.delay, self._receive, dst, wire_size,
+                        mailbox, message, delivered, False,
+                    )
+                    return
+                elif fault.kind == "dup":
+                    # A second arrival of the same frame (same seq):
+                    # charges ingress again, suppressed by the dedup
+                    # window when hardening is on.
+                    self.messages_duplicated += 1
+                    self.sim.schedule(
+                        0.0, self._receive, dst, wire_size,
+                        mailbox, message, delivered, False,
+                    )
         label = f"rx:{message.kind}" if self._trace_on else None
         rx_done = self.nics[dst].ingress.service(wire_size, label=label)
         rx_done.subscribe(lambda _e: self._deliver(mailbox, message, delivered))
@@ -238,12 +399,21 @@ class Network:
     def _deliver(
         self, mailbox: Mailbox, message: Message, delivered: Event
     ) -> None:
+        if self._integrity and message.seq is not None:
+            stream = (message.dst, message.service, message.src)
+            window = self._dedup.get(stream)
+            if window is None:
+                window = self._dedup[stream] = _DedupWindow()
+            if not window.accept(message.seq):
+                self.duplicates_suppressed += 1
+                return
         if self._san is not None and message.clock is not None:
             # Receipt of a synchronization message joins the sender's
             # vector clock into the destination machine (happens-before).
             self._san.on_receive(message.dst, message.clock)
         mailbox.put(message)
-        delivered.trigger(message)
+        if not delivered.triggered:
+            delivered.trigger(message)
 
     # -- accounting ------------------------------------------------------
 

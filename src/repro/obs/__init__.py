@@ -64,6 +64,7 @@ from repro.obs.host import (
 )
 from repro.obs.report import (
     RECOVERY_CATEGORIES,
+    RECOVERY_WALL_CATEGORIES,
     TraceSummary,
     format_trace_report,
     load_trace,
@@ -100,6 +101,7 @@ __all__ = [
     "NullHostProfiler",
     "NullTracer",
     "RECOVERY_CATEGORIES",
+    "RECOVERY_WALL_CATEGORIES",
     "ResourceSampler",
     "TID_CPU",
     "TID_DEVICE",

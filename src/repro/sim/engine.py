@@ -20,6 +20,17 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. double trigger)."""
 
 
+class DeadlineExceeded(SimulationError):
+    """A watchdog deadline fired before the run completed.
+
+    The chaos fuzzer arms one per episode: a fault schedule that wedges
+    the cluster (livelock, recovery loop, lost wakeup) would otherwise
+    run the simulation forever — simulated time advances, nothing
+    completes.  The watchdog callback raises this out of the run loop,
+    turning a hang into a reportable, shrinkable violation.
+    """
+
+
 class Interrupt(Exception):
     """Thrown into a process that is interrupted while waiting.
 

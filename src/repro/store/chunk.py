@@ -43,6 +43,9 @@ class Chunk:
     #: Number of records (edges / updates / vertices) the chunk holds.
     #: Drives the modelled CPU cost of processing it.
     records: int = 0
+    #: CRC32 seal over identity + payload (``store.integrity``); ``None``
+    #: for unsealed chunks (phantom / model-mode), which verify trivially.
+    crc: Any = None
 
     def __post_init__(self):
         if self.size < 0:

@@ -103,3 +103,30 @@ HDD_BENCH = DeviceSpec(
     latency=2e-6,
     capacity=12 * 10**12,
 )
+
+
+# -- byzantine device faults ------------------------------------------------
+
+
+@dataclass
+class StorageFaultState:
+    """Armed byzantine faults on one storage engine's device.
+
+    Each budget counts *upcoming* operations the device will silently
+    damage: ``read_corrupt`` perturbs the next served chunks after they
+    leave the backend (a media bit-flip surfacing on the read path — the
+    stored copy stays intact), ``write_corrupt`` persists a damaged copy
+    of the next written chunks (a torn write), and ``stale_reads`` makes
+    the next vertex reads return the previously stored version (a lost
+    in-place update).  The storage engine decrements budgets as the
+    faults fire; hardening (verify-on-read, write-verify, checkpoint
+    freshness checks) detects and repairs the damage when
+    ``integrity_checks`` is on.
+    """
+
+    read_corrupt: int = 0
+    write_corrupt: int = 0
+    stale_reads: int = 0
+
+    def any_armed(self) -> bool:
+        return bool(self.read_corrupt or self.write_corrupt or self.stale_reads)

@@ -36,12 +36,16 @@ replies are identifiable at the requester too.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.net.transport import Network
 from repro.obs.host import resolve_host_profiler
+from repro.obs.tracer import NULL_TRACK
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import FifoServer
 from repro.store.chunk import Chunk, ChunkKind
-from repro.store.device import DeviceSpec
+from repro.store.device import DeviceSpec, StorageFaultState
+from repro.store.integrity import corrupt_chunk, seal_chunk, verify_chunk
 
 SERVICE = "storage"
 
@@ -64,6 +68,8 @@ class StorageEngine:
         tracer=None,
         sanitizer=None,
         host=None,
+        integrity: bool = True,
+        job_track=NULL_TRACK,
     ):
         self.sim = sim
         self.network = network
@@ -102,6 +108,26 @@ class StorageEngine:
         #: Requests dropped by the epoch fence.
         self.stale_dropped = 0
         self.restarts = 0
+        # Integrity hardening (config.integrity_checks) and the armed
+        # byzantine device faults it defends against.
+        self._integrity = integrity
+        self._job_track = job_track
+        self.faults = StorageFaultState()
+        #: Corrupt reads caught by verify-on-read and served again from
+        #: the intact backend copy (device charged for both attempts).
+        self.integrity_rereads = 0
+        #: Torn writes caught by write-verify and rewritten before ack.
+        self.torn_writes_repaired = 0
+        #: Corrupt incoming write payloads bounced back for resend.
+        self.write_rejects = 0
+        #: Vertex reads that served a stale (overwritten) version.
+        self.stale_reads_served = 0
+        #: Reads re-served from the retransmit buffer (read_retry).
+        self.retransmits = 0
+        # Chunks served by request_id, kept so a receiver that got a
+        # corrupted frame can re-request without a second cursor
+        # consume (fetch_any is read-once).  Cleared each phase.
+        self._retransmit: Dict[int, Chunk] = {}
         self._process = sim.process(self._dispatch(), name=f"storage{machine}")
 
     # -- fault injection ---------------------------------------------------
@@ -141,6 +167,44 @@ class StorageEngine:
     def restore_device(self) -> None:
         self.device.restore_bandwidth()
 
+    def inject_read_corruption(self, count: int) -> None:
+        """Bit-flip fault: perturb the next ``count`` chunks served by
+        the read path (backend copy stays intact)."""
+        self.faults.read_corrupt += count
+
+    def inject_write_corruption(self, count: int) -> None:
+        """Torn-write fault: persist a damaged copy of the next
+        ``count`` written chunks."""
+        self.faults.write_corrupt += count
+
+    def inject_stale_reads(self, count: int) -> None:
+        """Stale-read fault: the next ``count`` vertex reads (that have
+        an overwritten predecessor) return the previous version."""
+        self.faults.stale_reads += count
+
+    def corrupt_stored_checkpoint(self, count: int, base_floor: int) -> int:
+        """Corrupt up to ``count`` durable checkpoint replica chunks.
+
+        Walks stored vertex chunks at or above ``base_floor`` (the
+        checkpoint slot bases) and replaces payload-carrying ones with
+        corrupted copies — persistent replica rot, detected (and
+        quarantined) by the restore client's verify-on-read.  Returns
+        how many chunks were actually damaged.
+        """
+        keys = getattr(self.backend, "vertex_chunk_keys", None)
+        if keys is None:
+            return 0
+        damaged = 0
+        for partition, index in keys():
+            if damaged >= count or index < base_floor:
+                continue
+            chunk = self.backend.get_vertex_chunk(partition, index)
+            if chunk is None or chunk.payload is None:
+                continue
+            self.backend.replace_vertex_chunk(corrupt_chunk(chunk))
+            damaged += 1
+        return damaged
+
     # -- local (same-machine, zero-cost) queries -------------------------
 
     def remaining_bytes(self, partition: int, kind: ChunkKind) -> int:
@@ -154,6 +218,7 @@ class StorageEngine:
 
     def reset_cursors(self, kind: ChunkKind) -> None:
         """Start of a phase: all chunks of ``kind`` become unprocessed."""
+        self._retransmit.clear()
         self.backend.reset_cursors(kind)
 
     def local_input_read(self, size: int) -> Event:
@@ -185,6 +250,9 @@ class StorageEngine:
 
     def preload_chunk(self, chunk: Chunk) -> None:
         """Store a chunk without simulated I/O (pre-processing loads)."""
+        if chunk.payload is not None and chunk.crc is None:
+            # Seal real payloads at ingest so every later hop can verify.
+            seal_chunk(chunk)
         if chunk.kind is ChunkKind.VERTICES:
             self.backend.put_vertex_chunk(chunk)
         else:
@@ -255,6 +323,73 @@ class StorageEngine:
         self.reads_served += 1
         self.reads_by_kind[kind] += 1
         label = f"read:{kind.value}:p{partition}" if self._trace_on else None
+        served = self._read_path(chunk, label)
+        self._retransmit[request_id] = chunk
+        done = self.device.service(served.size, label=label)
+        done.subscribe(
+            lambda _e, epoch=message.epoch: self._reply(
+                requester,
+                reply_service,
+                "read_reply",
+                served.size,
+                (request_id, served),
+                epoch=epoch,
+            )
+        )
+
+    def _read_path(self, chunk: Chunk, label) -> Chunk:
+        """Apply armed read-path corruption and verify-on-read.
+
+        Returns the chunk to serve: a corrupted copy when a bit-flip
+        fault fires and hardening is off, or — with hardening on — the
+        intact backend copy after charging the device for the wasted
+        first read (the verify-on-read re-read).
+        """
+        served = chunk
+        if self.faults.read_corrupt > 0 and chunk.payload is not None:
+            self.faults.read_corrupt -= 1
+            served = corrupt_chunk(chunk)
+        if served is not chunk and self._integrity and not verify_chunk(served):
+            # Verify-on-read caught the media damage: charge the wasted
+            # read, then serve the intact copy.
+            self.integrity_rereads += 1
+            start = self.sim.now
+            wasted = self.device.service(chunk.size, label=label)
+            wasted.subscribe(
+                lambda _e: self._job_track.complete(
+                    "integrity.reread",
+                    start,
+                    self.sim.now - start,
+                    cat="integrity",
+                    args={"machine": self.machine},
+                )
+            )
+            served = chunk
+        return served
+
+    def _handle_read_retry(self, message) -> None:
+        """Re-serve a previously served chunk (integrity re-request).
+
+        ``fetch_any`` is read-once, so a receiver that got a corrupted
+        frame cannot simply re-issue the read; it re-requests by the
+        original ``request_id`` against the retransmit buffer instead.
+        """
+        request_id, requester, reply_service = message.payload
+        chunk = self._retransmit.get(request_id)
+        if chunk is None:
+            # Evicted (phase ended): nothing to re-serve.  Reply
+            # exhausted so the reader makes progress instead of hanging.
+            self._reply(
+                requester,
+                reply_service,
+                "read_reply",
+                EXHAUSTED_BYTES,
+                (request_id, None),
+                epoch=message.epoch,
+            )
+            return
+        self.retransmits += 1
+        label = f"reread:p{chunk.partition}" if self._trace_on else None
         done = self.device.service(chunk.size, label=label)
         done.subscribe(
             lambda _e, epoch=message.epoch: self._reply(
@@ -267,7 +402,62 @@ class StorageEngine:
             )
         )
 
+    def _reject_write(self, message) -> bool:
+        """Bounce a write whose payload arrived damaged (nack → resend).
+
+        Returns True when the write was rejected.  The nack rides the
+        normal ``write_ack`` reply with a marker payload; the sender
+        still holds the original chunk and resends after backoff.
+        """
+        request_id, requester, reply_service, chunk = message.payload
+        if not self._integrity or verify_chunk(chunk):
+            return False
+        self.write_rejects += 1
+        self._job_track.instant(
+            "integrity.write_reject",
+            cat="integrity",
+            args={"machine": self.machine, "partition": chunk.partition},
+        )
+        self._reply(
+            requester,
+            reply_service,
+            "write_ack",
+            CONTROL_BYTES,
+            (request_id, "corrupt"),
+            epoch=message.epoch,
+        )
+        return True
+
+    def _written_copy(self, chunk: Chunk, label) -> Chunk:
+        """Apply the torn-write fault, and write-verify when hardened.
+
+        Returns the chunk that actually lands in the backend; with
+        hardening on, a caught tear charges the device for the rewrite
+        and the intact chunk lands.
+        """
+        stored = chunk
+        if self.faults.write_corrupt > 0 and chunk.payload is not None:
+            self.faults.write_corrupt -= 1
+            stored = corrupt_chunk(chunk)
+        if stored is not chunk and self._integrity and not verify_chunk(stored):
+            self.torn_writes_repaired += 1
+            start = self.sim.now
+            rewrite = self.device.service(chunk.size, label=label)
+            rewrite.subscribe(
+                lambda _e: self._job_track.complete(
+                    "integrity.rewrite",
+                    start,
+                    self.sim.now - start,
+                    cat="integrity",
+                    args={"machine": self.machine},
+                )
+            )
+            stored = chunk
+        return stored
+
     def _handle_write(self, message) -> None:
+        if self._reject_write(message):
+            return
         request_id, requester, reply_service, chunk = message.payload
         if self._san is not None:
             self._san.access(
@@ -291,10 +481,11 @@ class StorageEngine:
                 # device queue: discard instead of resurrecting it.
                 self.stale_dropped += 1
                 return
+            stored = self._written_copy(chunk, label)
             with self._host.measure(
                 self.machine, "serialize", records=chunk.records
             ):
-                self.backend.append_chunk(chunk)
+                self.backend.append_chunk(stored)
             self._reply(
                 requester,
                 reply_service,
@@ -310,6 +501,23 @@ class StorageEngine:
         request_id, requester, reply_service, partition, index = message.payload
         with self._host.measure(self.machine, "deserialize"):
             chunk = self.backend.get_vertex_chunk(partition, index)
+        if chunk is not None and self.faults.stale_reads > 0:
+            stale_getter = getattr(
+                self.backend, "get_previous_vertex_chunk", None
+            )
+            stale = (
+                stale_getter(partition, index)
+                if stale_getter is not None
+                else None
+            )
+            if stale is not None:
+                # Lost in-place update: the read returns the version the
+                # last write overwrote.  Its CRC is valid — staleness is
+                # caught by freshness metadata (the checkpoint generation
+                # key), not by checksums.
+                self.faults.stale_reads -= 1
+                self.stale_reads_served += 1
+                chunk = stale
         if chunk is None:
             self._reply(
                 requester,
@@ -323,19 +531,22 @@ class StorageEngine:
         self.reads_served += 1
         self.reads_by_kind[ChunkKind.VERTICES] += 1
         label = f"vread:p{partition}" if self._trace_on else None
-        done = self.device.service(chunk.size, label=label)
+        served = self._read_path(chunk, label)
+        done = self.device.service(served.size, label=label)
         done.subscribe(
             lambda _e, epoch=message.epoch: self._reply(
                 requester,
                 reply_service,
                 "vread_reply",
-                chunk.size,
-                (request_id, chunk),
+                served.size,
+                (request_id, served),
                 epoch=epoch,
             )
         )
 
     def _handle_vwrite(self, message) -> None:
+        if self._reject_write(message):
+            return
         request_id, requester, reply_service, chunk = message.payload
         self.writes_served += 1
         label = f"vwrite:p{chunk.partition}" if self._trace_on else None
@@ -346,8 +557,9 @@ class StorageEngine:
             if epoch < self.data_epoch:
                 self.stale_dropped += 1
                 return
+            stored = self._written_copy(chunk, label)
             with self._host.measure(self.machine, "serialize"):
-                self.backend.put_vertex_chunk(chunk)
+                self.backend.put_vertex_chunk(stored)
             self._reply(
                 requester,
                 reply_service,

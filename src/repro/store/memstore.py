@@ -72,6 +72,10 @@ class MemoryChunkStore:
     def __init__(self):
         self._sets: Dict[Tuple[int, ChunkKind], ChunkSet] = {}
         self._vertex_chunks: Dict[Tuple[int, int], Chunk] = {}
+        # Last overwritten version per vertex-chunk key: the stale-read
+        # fault serves this instead of the current version, modelling a
+        # lost in-place update (e.g. a cached page surviving a rewrite).
+        self._prev_vertex_chunks: Dict[Tuple[int, int], Chunk] = {}
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -122,7 +126,11 @@ class MemoryChunkStore:
     def put_vertex_chunk(self, chunk: Chunk) -> None:
         if chunk.kind is not ChunkKind.VERTICES:
             raise ValueError("put_vertex_chunk requires a vertex chunk")
-        self._vertex_chunks[(chunk.partition, chunk.index)] = chunk
+        key = (chunk.partition, chunk.index)
+        previous = self._vertex_chunks.get(key)
+        if previous is not None:
+            self._prev_vertex_chunks[key] = previous
+        self._vertex_chunks[key] = chunk
         self.bytes_written += chunk.size
 
     def get_vertex_chunk(self, partition: int, index: int) -> Optional[Chunk]:
@@ -130,6 +138,24 @@ class MemoryChunkStore:
         if chunk is not None:
             self.bytes_read += chunk.size
         return chunk
+
+    def get_previous_vertex_chunk(
+        self, partition: int, index: int
+    ) -> Optional[Chunk]:
+        """The version a put overwrote, if any (stale-read fault plane)."""
+        return self._prev_vertex_chunks.get((partition, index))
+
+    def replace_vertex_chunk(self, chunk: Chunk) -> None:
+        """Overwrite a stored vertex chunk *without* version tracking or
+        byte accounting — the fault-injection / integrity-repair plane
+        (simulated device time is charged by the storage engine)."""
+        if chunk.kind is not ChunkKind.VERTICES:
+            raise ValueError("replace_vertex_chunk requires a vertex chunk")
+        self._vertex_chunks[(chunk.partition, chunk.index)] = chunk
+
+    def vertex_chunk_keys(self) -> List[Tuple[int, int]]:
+        """All stored (partition, index) vertex-chunk keys, sorted."""
+        return sorted(self._vertex_chunks)
 
     def vertex_chunk_count(self, partition: int) -> int:
         return sum(1 for (p, _i) in self._vertex_chunks if p == partition)

@@ -621,6 +621,94 @@ class TestCHX012:
 
 
 # ---------------------------------------------------------------------------
+# CHX018: unseeded RNG in fault-injection / fuzzing code
+# ---------------------------------------------------------------------------
+
+
+CHX018_FIXTURE = {
+    "proj/__init__.py": "",
+    "proj/faults/__init__.py": "",
+    "proj/faults/fuzzer.py": (
+        "import random as rnd\n"
+        "\n"
+        "def good(seed):\n"
+        "    return rnd.Random(seed * 7 + 1)\n"
+        "\n"
+        "def planted_unseeded():\n"
+        "    return rnd.Random()\n"
+        "\n"
+        "def planted_global_draw():\n"
+        "    return rnd.random()\n"
+    ),
+    "proj/graph/__init__.py": "",
+    "proj/graph/gen.py": (
+        "import random\n"
+        "\n"
+        "def out_of_scope():\n"
+        "    return random.Random()\n"
+    ),
+}
+
+
+class TestCHX018:
+    def test_flags_only_faults_and_fuzz_modules(self, tmp_path):
+        build_pkg(tmp_path, CHX018_FIXTURE)
+        result = deep_check(tmp_path, rules={"CHX018"})
+        found = findings_of(result, "CHX018")
+        assert [f.line for f in found] == [7, 10]
+        assert all("faults/fuzzer.py" in f.file for f in found)
+        assert "without a seed" in found[0].message
+        assert "interpreter-global" in found[1].message
+
+    def test_seeded_construction_is_clean(self, tmp_path):
+        files = {
+            "proj/__init__.py": "",
+            "proj/faults/__init__.py": "",
+            "proj/faults/sched.py": (
+                "import random\n"
+                "\n"
+                "def make(seed):\n"
+                "    return random.Random(seed)\n"
+            ),
+        }
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX018"})
+        assert findings_of(result, "CHX018") == []
+
+    def test_numpy_default_rng_needs_a_seed(self, tmp_path):
+        files = {
+            "proj/__init__.py": "",
+            "proj/fuzz.py": (
+                "import numpy as np\n"
+                "\n"
+                "def planted():\n"
+                "    return np.random.default_rng()\n"
+                "\n"
+                "def good(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+        }
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX018"})
+        found = findings_of(result, "CHX018")
+        assert [f.line for f in found] == [4]
+
+    def test_suppression_honored(self, tmp_path):
+        files = dict(CHX018_FIXTURE)
+        files["proj/faults/fuzzer.py"] = files["proj/faults/fuzzer.py"].replace(
+            "    return rnd.Random()\n",
+            "    return rnd.Random()  # chaos: ignore[CHX018] fixture\n",
+        ).replace(
+            "    return rnd.random()\n",
+            "    return rnd.random()  # chaos: ignore[CHX018] fixture\n",
+        )
+        build_pkg(tmp_path, files)
+        result = deep_check(tmp_path, rules={"CHX018"})
+        assert findings_of(result, "CHX018") == []
+        assert [f.line for f in result.result.suppressed] == [7, 10]
+
+
+# ---------------------------------------------------------------------------
 # sanitizer focus (CHX012 -> run --sanitize --focus-from-check)
 # ---------------------------------------------------------------------------
 
@@ -712,6 +800,7 @@ class TestDeepEngine:
             "CHX015",
             "CHX016",
             "CHX017",
+            "CHX018",
         ]
         assert DeepEngine().rule_ids() == sorted(DEEP_RULE_TABLE)
 

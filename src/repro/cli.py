@@ -15,8 +15,15 @@ Commands
     The closed-form storage-utilization table of Figure 5.
 ``trace-report``
     Summarize a ``--trace`` JSON file in the terminal: per-device and
-    per-NIC utilization, breakdown categories, top spans, counters,
-    and the per-iteration bottleneck-attribution table.
+    per-NIC utilization, breakdown categories, integrity counters, top
+    spans, counters, the per-iteration bottleneck-attribution table and
+    the slowest causal barrier chains (``--format json`` emits the same
+    tables machine-readably).
+``trace query``
+    Query the causal message-level event DAG of a ``--trace`` file:
+    ``--where`` filters events with a small expression language,
+    ``--chain-of`` walks the backward causal chain of one event, and
+    ``--slowest-chains N`` prints the chains that bound the barriers.
 ``bench``
     Run the tracked benchmark scenarios into a schema-versioned
     ``BENCH_<label>.json`` snapshot (runtime, attribution vector,
@@ -219,6 +226,38 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="rows to show: top spans (default 12) and, "
                              "for traces recorded with --host-profile, "
                              "hottest host phases (default 10)")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (json = every table of the "
+                             "text report, machine-readable)")
+
+    trace = commands.add_parser(
+        "trace", help="query the causal event DAG of a --trace JSON file"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    query = trace_commands.add_parser(
+        "query", help="filter causal events / walk causal chains"
+    )
+    query.add_argument("path", help="trace file written by run --trace")
+    query.add_argument("--where", metavar="EXPR",
+                       help="filter expression over causal events, e.g. "
+                            "'cat=steal_request and machine=3 and dur>5ms' "
+                            "(fields: id parent kind cat src dst machine "
+                            "size epoch label phase barrier attempt trace "
+                            "t t0 t1 dur; time values take s/ms/us/ns)")
+    query.add_argument("--chain-of", type=int, metavar="EVENT",
+                       dest="chain_of",
+                       help="print the backward causal chain ending at "
+                            "this event id, root first")
+    query.add_argument("--slowest-chains", type=int, nargs="?", const=5,
+                       metavar="N", dest="slowest_chains",
+                       help="print the N slowest barrier chains "
+                            "(default 5), each walked root-first")
+    query.add_argument("--limit", type=int, default=50,
+                       help="max events to print for --where (default 50)")
+    query.add_argument("--format", choices=("text", "json"),
+                       default="text", dest="fmt",
+                       help="output format")
 
     bench = commands.add_parser(
         "bench", help="benchmark snapshots and the perf regression gate"
@@ -544,7 +583,9 @@ def _command_run(args) -> int:
                 print(f"host flamegraph: -> {args.host_flamegraph}")
         if args.host_prometheus:
             with open(args.host_prometheus, "w") as handle:
-                handle.write(to_prometheus(host_doc))
+                handle.write(
+                    to_prometheus(host_doc, integrity=result.integrity)
+                )
             if not args.json:
                 print(f"host prometheus: -> {args.host_prometheus}")
 
@@ -660,21 +701,32 @@ def _command_utilization(args) -> int:
 
 
 def _command_trace_report(args) -> int:
-    from repro.obs import format_trace_report, summarize_trace_file
+    import json as json_module
+
+    from repro.obs import format_trace_report, summarize_trace
     from repro.obs.critpath import (
         AttributionError,
         analyze_chrome_trace,
         format_iteration_table,
     )
-    from repro.obs.report import load_trace
+    from repro.obs.report import load_trace, trace_report_json
 
     span_top = args.top if args.top is not None else 12
     host_top = args.top if args.top is not None else 10
     try:
-        summary = summarize_trace_file(args.path)
         trace = load_trace(args.path)
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot read trace {args.path!r}: {error}")
+    if args.fmt == "json":
+        print(
+            json_module.dumps(
+                trace_report_json(trace, top=span_top),
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    summary = summarize_trace(trace)
     print(format_trace_report(summary, top=span_top))
     try:
         attribution = analyze_chrome_trace(trace)
@@ -688,6 +740,29 @@ def _command_trace_report(args) -> int:
             f"binding resource: {attribution.bottleneck} "
             f"(dominant category: {attribution.dominant_category})"
         )
+    from repro.obs import causal as causal_mod
+
+    try:
+        causal_events = causal_mod.causal_events_from_trace(trace)
+    except causal_mod.CausalError:
+        causal_events = None  # pre-causal trace
+    if causal_events:
+        chains = causal_mod.slowest_chains(causal_events, span_top)
+        if chains:
+            print()
+            print(f"slowest barrier chains (top {len(chains)}):")
+            for line in causal_mod.format_chain_table(chains).splitlines():
+                print(f"  {line}")
+        if attribution is not None:
+            checks = causal_mod.cross_check(causal_events, attribution)
+            bad = [record for record in checks if not record["ok"]]
+            if checks:
+                print(
+                    f"causal x critpath cross-check: "
+                    f"{len(checks) - len(bad)}/{len(checks)} barrier(s) "
+                    f"reconciled"
+                    + ("" if not bad else "  MISMATCH")
+                )
     host_doc = trace.get("hostMetrics")
     if host_doc is not None:
         from repro.obs import format_host_report
@@ -700,6 +775,73 @@ def _command_trace_report(args) -> int:
         print()
         print(format_host_report(host_doc, sim_spans=sim_spans, top=host_top))
     return 0
+
+
+def _command_trace(args) -> int:
+    import json as json_module
+
+    from repro.obs import causal as causal_mod
+    from repro.obs.report import load_trace
+
+    try:
+        trace = load_trace(args.path)
+        events = causal_mod.causal_events_from_trace(trace)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read trace {args.path!r}: {error}")
+
+    wants = [
+        bool(args.where),
+        args.chain_of is not None,
+        args.slowest_chains is not None,
+    ]
+    if sum(wants) != 1:
+        raise SystemExit(
+            "trace query: pass exactly one of --where, --chain-of, "
+            "--slowest-chains"
+        )
+
+    try:
+        if args.where:
+            matches = causal_mod.filter_events(events, args.where)
+            if args.fmt == "json":
+                print(causal_mod.dumps_events(matches[: args.limit]))
+            else:
+                for event in matches[: args.limit]:
+                    print(causal_mod.format_event(event))
+                tail = len(matches) - args.limit
+                if tail > 0:
+                    print(f"... {tail} more (raise --limit)")
+                print(
+                    f"{len(matches)} event(s) matched of {len(events)}"
+                )
+            return 0
+        if args.chain_of is not None:
+            chain = causal_mod.chain_of(events, args.chain_of)
+            if args.fmt == "json":
+                print(causal_mod.dumps_events(chain))
+            else:
+                for event in chain:
+                    print(causal_mod.format_event(event))
+            return 0
+        chains = causal_mod.slowest_chains(events, args.slowest_chains)
+        if args.fmt == "json":
+            print(
+                json_module.dumps(
+                    [chain.to_dict() for chain in chains],
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        else:
+            if not chains:
+                print("no barrier chains in trace")
+            for index, chain in enumerate(chains):
+                if index:
+                    print()
+                print(causal_mod.format_chain(chain))
+        return 0
+    except causal_mod.CausalError as error:
+        raise SystemExit(f"trace query: {error}")
 
 
 def _parse_tolerances(specs):
@@ -1104,6 +1246,7 @@ def main(argv: Optional[list] = None) -> int:
         "capacity": _command_capacity,
         "utilization": _command_utilization,
         "trace-report": _command_trace_report,
+        "trace": _command_trace,
         "bench": _command_bench,
         "check": _command_check,
         "fuzz": _command_fuzz,

@@ -50,7 +50,7 @@ from repro.core.config import ClusterConfig
 from repro.core.metrics import Breakdown
 from repro.core.stealing import estimate_cluster_remaining, should_accept_steal
 from repro.core.workload import UpdateBatch, Workload
-from repro.net.retry import RetryPolicy, retry_rng_seed
+from repro.net.retry import RetryPolicy, jittered_delay, retry_rng_seed
 from repro.net.transport import Network
 from repro.obs.host import resolve_host_profiler
 from repro.obs.tracer import NULL_TRACK, TID_CPU, TID_ENGINE
@@ -220,6 +220,10 @@ class ComputationEngine:
         self.stale_messages = 0
         self.steal_timeouts = 0
         self.reads_abandoned = 0
+        # Causal DAG recorder shared with the transport (null when
+        # tracing is off): dispatching a message moves this machine's
+        # chain head so replies/sends inherit the right parent.
+        self._causal = network.causal
         # Integrity hardening: verify every chunk-carrying reply; on a
         # corrupt frame, re-request with deterministic seeded backoff.
         self._integrity = config.integrity_checks
@@ -281,6 +285,8 @@ class ComputationEngine:
                 # reply, or a steal request from a zombie peer).
                 self.stale_messages += 1
                 continue
+            if message.ctx is not None:
+                self._causal.on_dispatch(self.machine, message.ctx)
             kind = message.kind
             if kind in ("read_reply", "vread_reply", "write_ack", "directory_reply"):
                 request_id = message.payload[0]
@@ -379,10 +385,10 @@ class ComputationEngine:
                         f"{attempt + 1} times (persistent corruption)"
                     )
                 self.write_retries += 1
-                rng = random.Random(
-                    retry_rng_seed(self.config.seed, self.machine, request_id)
+                delay = jittered_delay(
+                    self._integrity_policy, attempt,
+                    self.config.seed, self.machine, request_id,
                 )
-                delay = self._integrity_policy.delay(attempt, rng)
                 start = self.sim.now
 
                 def resend() -> None:
@@ -404,6 +410,7 @@ class ComputationEngine:
             size=chunk.size,
             payload=(request_id, self.machine, COMPUTE_SERVICE, chunk),
             epoch=self.epoch,
+            attempt=attempt,
         )
 
     def _write_chunk(self, chunk: Chunk, target: int) -> None:
@@ -460,6 +467,7 @@ class ComputationEngine:
             size=STEAL_MESSAGE_BYTES,
             payload=(request_id, accept, partition),
             epoch=self.epoch,
+            parent=message.ctx,
         )
 
     def _handle_accum(self, message) -> None:
@@ -581,10 +589,10 @@ class ComputationEngine:
         self._read_attempts[request_id] = attempt + 1
         self.integrity_retries += 1
         self._pending[request_id] = callback
-        rng = random.Random(
-            retry_rng_seed(self.config.seed, self.machine, request_id)
+        delay = jittered_delay(
+            self._integrity_policy, attempt,
+            self.config.seed, self.machine, request_id,
         )
-        delay = self._integrity_policy.delay(attempt, rng)
         start = self.sim.now
 
         def resend() -> None:
@@ -599,6 +607,7 @@ class ComputationEngine:
                 size=store_engine.CONTROL_BYTES,
                 payload=(request_id, self.machine, COMPUTE_SERVICE),
                 epoch=self.epoch,
+                attempt=attempt + 1,
             )
 
         self.sim.schedule(delay, resend)
@@ -811,12 +820,10 @@ class ComputationEngine:
                         f"corrupt after {attempt} retries"
                     )
                 self.integrity_retries += 1
-                rng = random.Random(
-                    retry_rng_seed(
-                        self.config.seed, self.machine, _rid
-                    )
+                delay = jittered_delay(
+                    self._integrity_policy, attempt,
+                    self.config.seed, self.machine, _rid,
                 )
-                delay = self._integrity_policy.delay(attempt, rng)
                 start = self.sim.now
 
                 def reissue() -> None:
@@ -844,6 +851,7 @@ class ComputationEngine:
                 size=store_engine.CONTROL_BYTES,
                 payload=(request_id, self.machine, COMPUTE_SERVICE, partition, index),
                 epoch=self.epoch,
+                attempt=attempt,
             )
 
         for index in range(len(sizes)):
@@ -1217,7 +1225,9 @@ class ComputationEngine:
                 )
                 event.subscribe(
                     lambda _e, p=partition: registry.note_durable(
-                        key, p, self.sim.now
+                        key, p, self.sim.now,
+                        machine=self.machine,
+                        parent=self._causal.head(self.machine),
                     )
                 )
                 events.append(event)
@@ -1227,10 +1237,21 @@ class ComputationEngine:
         self.metrics.add("copy", self.sim.now - t0)
         self.track.end()
 
-    def _enter_barrier(self, stats=None):
+    def _enter_barrier(self, stats=None, label=None, phase=None):
         t0 = self.sim.now
         self.track.begin("barrier", cat="barrier")
+        causal = label is not None and self._causal.enabled
+        if causal:
+            self._causal.barrier_arrive(
+                self.machine, self.epoch, label, phase
+            )
         yield self.barrier.wait(party=self.machine)
+        if causal:
+            # The first resumer materializes the release event (parented
+            # to every arrival); each resumer's chain head becomes it.
+            self._causal.barrier_release(
+                self.machine, self.epoch, label, phase
+            )
         self.metrics.add("barrier", self.sim.now - t0)
         if stats is not None:
             self.job.note_barrier_wait(stats, self.sim.now - t0)
@@ -1280,7 +1301,15 @@ class ComputationEngine:
             yield from self._preprocess()
             track.end()
             track.begin("preprocess.barrier")
+            if self._causal.enabled:
+                self._causal.barrier_arrive(
+                    self.machine, self.epoch, "preprocess", "preprocess"
+                )
             yield self.barrier.wait(party=self.machine)
+            if self._causal.enabled:
+                self._causal.barrier_release(
+                    self.machine, self.epoch, "preprocess", "preprocess"
+                )
             track.end()
             self.job.note_preprocessing_done(self.sim.now)
 
@@ -1299,7 +1328,9 @@ class ComputationEngine:
                 track.begin("scatter", args={"iteration": self.job.iteration})
             self.job.begin_scatter()
             yield from self._run_phase(ChunkKind.EDGES)
-            yield from self._enter_barrier(stats)
+            yield from self._enter_barrier(
+                stats, label=str(self.job.iteration), phase="scatter"
+            )
             stop = self.job.decide_after_scatter(self.barrier.generation)
             self.job.note_phase_seconds(
                 stats, "scatter", self.sim.now - phase_start
@@ -1313,7 +1344,9 @@ class ComputationEngine:
             if self._trace_on:
                 track.begin("gather", args={"iteration": self.job.iteration})
             yield from self._run_phase(ChunkKind.UPDATES)
-            yield from self._enter_barrier(stats)
+            yield from self._enter_barrier(
+                stats, label=str(self.job.iteration), phase="gather"
+            )
             stop = self.job.decide_after_gather(self.barrier.generation)
             self.job.note_phase_seconds(
                 stats, "gather", self.sim.now - phase_start

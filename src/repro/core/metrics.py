@@ -125,6 +125,9 @@ class JobResult:
     #: the scatter-produced counts when update aggregation is on).
     updates_written_records: int = 0
     updates_written_bytes: int = 0
+    #: Integrity/byzantine counters (injected message faults and their
+    #: transport/storage-level suppression), cluster-wide totals.
+    integrity: Dict[str, int] = field(default_factory=dict)
 
     @property
     def aggregate_bandwidth(self) -> float:
@@ -152,6 +155,11 @@ class JobResult:
         )
         if self.checkpoints:
             text += f" checkpoints={self.checkpoints}"
+        hits = {k: v for k, v in sorted(self.integrity.items()) if v}
+        if hits:
+            text += " integrity[" + " ".join(
+                f"{k}={v}" for k, v in hits.items()
+            ) + "]"
         return text
 
     def to_dict(self) -> dict:
@@ -175,6 +183,7 @@ class JobResult:
             "checkpoints": self.checkpoints,
             "updates_written_records": self.updates_written_records,
             "updates_written_bytes": self.updates_written_bytes,
+            "integrity": dict(sorted(self.integrity.items())),
             "total_updates": self.total_updates(),
             "breakdown": {
                 category: getattr(breakdown, category)

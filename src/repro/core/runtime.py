@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -43,6 +44,48 @@ from repro.store.chunk import Chunk, ChunkKind, split_into_chunks
 from repro.store.engine import StorageEngine
 from repro.store.memstore import MemoryChunkStore
 from repro.store.placement import CentralizedDirectory, HashedVertexPlacement
+
+
+def _integrity_counters(network, stores) -> Dict[str, int]:
+    """Cluster-wide integrity/byzantine counters for the run summary.
+
+    Network counters cover injected in-flight faults and their
+    transport-level suppression; store counters cover the durability
+    defenses (epoch fencing, torn-write repair, checksum re-reads).
+    All are cumulative over the run, including re-executed epochs.
+    """
+    return {
+        "messages_dropped": network.messages_dropped,
+        "messages_corrupted": network.messages_corrupted,
+        "messages_duplicated": network.messages_duplicated,
+        "messages_reordered": network.messages_reordered,
+        "duplicates_suppressed": network.duplicates_suppressed,
+        "write_rejects": sum(s.write_rejects for s in stores),
+        "torn_writes_repaired": sum(s.torn_writes_repaired for s in stores),
+        "integrity_rereads": sum(s.integrity_rereads for s in stores),
+        "stale_reads_served": sum(s.stale_reads_served for s in stores),
+        "retransmits": sum(s.retransmits for s in stores),
+    }
+
+
+def _check_open_spans(tracer) -> None:
+    """Warn if a clean run ends with spans still open (leaked begin()).
+
+    A leaked span skews every downstream analysis (critpath sees an
+    interval that never closes; durations go negative at export), so a
+    clean finish with ``open_span_count() != 0`` is an instrumentation
+    bug worth surfacing loudly — but not worth failing the job over.
+    """
+    if not tracer.enabled:
+        return
+    leaked = tracer.open_span_count()
+    if leaked:
+        warnings.warn(
+            f"run finished with {leaked} trace span(s) still open; "
+            f"the trace's durations are unreliable (leaked begin()?)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass
@@ -524,10 +567,13 @@ class ChaosCluster:
         sim.run_until(sim.all_of([p.finished for p in processes]))
         if sampler is not None:
             sampler.sample()  # close the timelines at the finish line
+        integrity = _integrity_counters(network, stores)
         if job_track is not None:
+            job_track.instant("job.integrity", args=dict(integrity))
             job_track.instant(
                 "job.done", args={"algorithm": workload.algorithm.name}
             )
+        _check_open_spans(tracer)
         self.last_stores = stores
         self.last_network = network
 
@@ -550,6 +596,7 @@ class ChaosCluster:
                 e.updates_written_records for e in engines
             ),
             updates_written_bytes=sum(e.updates_written_bytes for e in engines),
+            integrity=integrity,
         )
 
     def _execute_with_faults(
@@ -641,7 +688,9 @@ class ChaosCluster:
         edge_chunk_loader(placement_rng, stores)
         self._place_vertex_chunks(workload, layout, stores)
 
-        registry = CheckpointRegistry(layout.num_partitions)
+        registry = CheckpointRegistry(
+            layout.num_partitions, causal=tracer.causal
+        )
         # Bound immediately (not just on success) so a diagnosed run's
         # quarantine counters stay inspectable after the exception.
         self.last_registry = registry
@@ -724,10 +773,16 @@ class ChaosCluster:
         supervisor.execute(start_iteration)
         if sampler is not None:
             sampler.sample()
+        integrity = _integrity_counters(network, stores)
         if job_track is not None:
+            job_track.instant("job.integrity", args=dict(integrity))
             job_track.instant(
                 "job.done", args={"algorithm": workload.algorithm.name}
             )
+        if not supervisor.timeline.faults:
+            # Kills legitimately strand the victims' open spans; only a
+            # fault-free timeline is held to the no-leak invariant.
+            _check_open_spans(tracer)
         self.last_stores = stores
         self.last_network = network
         self.last_fault_timeline = supervisor.timeline
@@ -777,6 +832,7 @@ class ChaosCluster:
                 for engines in supervisor.epoch_engines
                 for e in engines
             ),
+            integrity=integrity,
         )
 
 

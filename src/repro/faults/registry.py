@@ -40,13 +40,21 @@ class CheckpointGeneration:
 class CheckpointRegistry:
     """Tracks checkpoint rounds and the latest durable generation."""
 
-    def __init__(self, num_partitions: int):
+    def __init__(self, num_partitions: int, causal=None):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions
+        #: Causal DAG recorder (``tracer.causal``) or None: checkpoint
+        #: replication chains — each partition's durability, parented to
+        #: the replica-write acks, joined by a round-completion mark —
+        #: become part of the run's causal trace.  Pure annotation; the
+        #: protocol never reads it.
+        self._causal = causal if causal is not None and causal.enabled else None
         self._durable: Optional[CheckpointGeneration] = None
         # key -> [slot, resume_iteration, partitions_done]
         self._rounds: Dict[Tuple[int, int, int], list] = {}
+        # key -> causal ids of the per-partition durability marks.
+        self._round_marks: Dict[Tuple[int, int, int], list] = {}
         #: Rounds that completed (telemetry).
         self.rounds_completed = 0
         #: Replica locations (machine, partition, store_index) whose
@@ -74,17 +82,34 @@ class CheckpointRegistry:
     def base_for_slot(self, slot: int) -> int:
         return SLOT_BASES[slot]
 
-    def note_durable(self, key: Tuple[int, int, int], partition: int, now: float) -> None:
+    def note_durable(
+        self,
+        key: Tuple[int, int, int],
+        partition: int,
+        now: float,
+        machine: Optional[int] = None,
+        parent=None,
+    ) -> None:
         """One partition's replica writes for round ``key`` are all acked.
 
         When every partition has reported, the round becomes the durable
         generation (retiring the previous one — its slot will be reused
-        by the next round).
+        by the next round).  ``machine``/``parent`` annotate the causal
+        trace with the replication chain that made the round durable.
         """
         entry = self._rounds.get(key)
         if entry is None:
             raise KeyError(f"checkpoint round {key} was never opened")
         entry[2] += 1
+        if self._causal is not None:
+            mark = self._causal.mark(
+                "ckpt_durable",
+                machine=machine,
+                parent=parent,
+                args={"ckpt": list(key), "partition": partition},
+            )
+            if mark is not None:
+                self._round_marks.setdefault(key, []).append(mark["id"])
         if entry[2] == self.num_partitions:
             self._durable = CheckpointGeneration(
                 key=key,
@@ -93,6 +118,12 @@ class CheckpointRegistry:
                 durable_at=now,
             )
             self.rounds_completed += 1
+            if self._causal is not None:
+                self._causal.mark(
+                    "ckpt_round",
+                    parents=self._round_marks.pop(key, []),
+                    args={"ckpt": list(key), "slot": entry[0]},
+                )
 
     def latest_durable(self) -> Optional[CheckpointGeneration]:
         return self._durable

@@ -36,7 +36,6 @@ against the timeline totals.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -45,7 +44,7 @@ from repro.faults.detector import HeartbeatSender
 from repro.faults.diagnosis import JobDiagnosis, UnrecoverableJobError
 from repro.faults.plan import FaultSpec
 from repro.faults.registry import SLOT_BASES
-from repro.net.retry import RetryPolicy, retry_rng_seed
+from repro.net.retry import RetryPolicy, jittered_delay
 from repro.obs.tracer import NULL_TRACK
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.store import engine as store_engine
@@ -685,11 +684,16 @@ class _RestoreClient:
             if attempt > 0:
                 # Bounded deterministic backoff between attempts, so a
                 # flapping replica is polled, not hammered.
-                rng = random.Random(
-                    retry_rng_seed(config.seed, self.machine, request_id)
-                )
                 wait_start = self.sim.now
-                yield self.sim.timeout(policy.delay(attempt - 1, rng))
+                yield self.sim.timeout(
+                    jittered_delay(
+                        policy,
+                        attempt - 1,
+                        config.seed,
+                        self.machine,
+                        request_id,
+                    )
+                )
                 sup.job_track.complete(
                     "restore.retry_wait",
                     wait_start,
@@ -714,6 +718,7 @@ class _RestoreClient:
                     store_index,
                 ),
                 epoch=self.epoch,
+                attempt=attempt - 1,
             )
             winner, value = yield self.sim.any_of(
                 [reply, self.sim.timeout(period)]

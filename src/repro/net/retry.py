@@ -19,7 +19,12 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["RetryPolicy", "backoff_delays", "retry_rng_seed"]
+__all__ = [
+    "RetryPolicy",
+    "backoff_delays",
+    "jittered_delay",
+    "retry_rng_seed",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,27 @@ class RetryPolicy:
 def retry_rng_seed(config_seed: int, machine: int, request_id: int) -> int:
     """Stable per-request jitter seed (same scheme as the engine RNGs)."""
     return config_seed * 1_000_003 + machine * 7919 + request_id * 31 + 17
+
+
+def jittered_delay(
+    policy: RetryPolicy,
+    attempt: int,
+    config_seed: int,
+    machine: int,
+    request_id: int,
+) -> float:
+    """One seeded jittered delay for the ``attempt``-th retry of an RPC.
+
+    This is the single call every retry site in the engine and the
+    recovery supervisor uses (chunk re-reads, corrupt-write resends,
+    steal liveness probes, restore replica cycling), so the causal trace
+    of a retry chain always reflects the exact same schedule the
+    protocol executed.  The jitter RNG is freshly seeded per call from
+    ``(config_seed, machine, request_id)`` — a pure function of the
+    run's identity, independent of call order.
+    """
+    rng = random.Random(retry_rng_seed(config_seed, machine, request_id))
+    return policy.delay(attempt, rng)
 
 
 def backoff_delays(

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
 from repro.net.topology import NetworkConfig, Nic, Switch
+from repro.obs.causal import NULL_CAUSAL
 from repro.obs.host import resolve_host_profiler
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.resources import Mailbox
@@ -50,6 +51,12 @@ class Message:
     #: drives receiver-side duplicate suppression.  ``None`` for local
     #: (same-machine) handoffs, which cannot be duplicated by the fabric.
     seq: Any = None
+    #: Causal trace context ``(trace_id, span_id, parent_span_id)``
+    #: stamped by the transport when causal tracing is on; ``None``
+    #: otherwise.  Like ``clock`` it is a passive annotation: protocol
+    #: logic never reads it, so traced runs stay byte-identical to
+    #: untraced runs.
+    ctx: Any = None
 
 
 class _DedupWindow:
@@ -191,6 +198,9 @@ class Network:
         # (the host-side analogue of the modelled copy cost).
         self._host = resolve_host_profiler(host)
         self._trace_on = tracer is not None and tracer.enabled
+        #: Causal DAG recorder (message sends/deliveries become edges);
+        #: the null recorder when tracing is off.
+        self.causal = tracer.causal if self._trace_on else NULL_CAUSAL
         if self._trace_on:
             from repro.obs.tracer import TID_NIC_RX, TID_NIC_TX
 
@@ -291,6 +301,8 @@ class Network:
         size: int,
         payload: Any = None,
         epoch: int = 0,
+        parent: Any = None,
+        attempt: int = 0,
     ) -> Event:
         """Send a message; the returned event fires on *delivery*.
 
@@ -301,6 +313,10 @@ class Network:
         returned event never fires — callers needing progress guarantees
         must pair the event with a timeout (the fault-tolerant RPC
         pattern the computation engine uses).
+
+        ``parent`` (a causal context or span id) and ``attempt`` (>0 for
+        retries/resends) annotate the causal trace only; when causal
+        tracing is off they are ignored entirely.
         """
         if not 0 <= dst < len(self.nics):
             raise SimulationError(f"invalid destination machine {dst}")
@@ -319,6 +335,10 @@ class Network:
                     else None
                 ),
                 epoch=epoch,
+            )
+        if self.causal.enabled:
+            message.ctx = self.causal.on_send(
+                kind, src, dst, size, parent=parent, attempt=attempt
             )
         mailbox = self.mailbox(dst, service)
         delivered = Event(self.sim, name=f"deliver.{kind}")
@@ -411,6 +431,8 @@ class Network:
             # Receipt of a synchronization message joins the sender's
             # vector clock into the destination machine (happens-before).
             self._san.on_receive(message.dst, message.clock)
+        if message.ctx is not None:
+            self.causal.on_deliver(message.ctx)
         mailbox.put(message)
         if not delivered.triggered:
             delivered.trigger(message)

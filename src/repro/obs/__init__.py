@@ -1,20 +1,32 @@
 """Observability: tracing, time-series telemetry and trace exporters.
 
-The subsystem has three layers:
+Four layers of increasing interpretation — spans, interval attribution,
+host profiling, causal chains:
 
 * :mod:`repro.obs.tracer` — a zero-cost-when-disabled :class:`Tracer`
   keyed to the simulated clock, recording typed spans, instants and
   counters on per-machine engine/device/NIC tracks;
+* :mod:`repro.obs.critpath` — the bottleneck-attribution analyzer: an
+  exact per-machine decomposition of wall clock into resource
+  categories, the Eq. 4 utilization check and the straggler detector;
+* :mod:`repro.obs.host` — real host wall/CPU time per engine phase
+  next to the simulated spans (the sim-to-host skew table);
+* :mod:`repro.obs.causal` — message-level causal tracing: every
+  simulated message carries a ``(trace, span, parent)`` context, the
+  full causal DAG serializes into the trace, and the slowest-chain
+  analyzer names the exact chain that bound each barrier
+  (cross-checked against critpath's decomposition).
+
+Supporting modules:
+
 * :mod:`repro.obs.counters` — :class:`CounterRegistry` time series plus
   the :class:`ResourceSampler` process that snapshots device and NIC
   meters periodically (Fig. 5-style utilization timelines from a live
   run);
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome/Perfetto
-  ``trace_event`` JSON, flat CSV of every time series, and the terminal
-  summary behind ``repro trace-report``;
-* :mod:`repro.obs.critpath` — the bottleneck-attribution analyzer: an
-  exact per-machine decomposition of wall clock into resource
-  categories, the Eq. 4 utilization check and the straggler detector;
+  ``trace_event`` JSON (including causal ``flow`` arrows), flat CSV of
+  every time series, and the terminal/JSON summary behind
+  ``repro trace-report`` and ``repro trace query``;
 * :mod:`repro.obs.bench` — benchmark snapshots (``BENCH_<label>.json``)
   and the snapshot-diff regression gate behind ``repro bench``.  Import
   it as ``repro.obs.bench`` (not re-exported here: it pulls in the full
@@ -31,6 +43,23 @@ Typical use::
     write_chrome_trace(tracer, "run.trace.json")   # open in Perfetto
 """
 
+from repro.obs.causal import (
+    NULL_CAUSAL,
+    BarrierChain,
+    CausalError,
+    CausalRecorder,
+    NullCausalRecorder,
+    barrier_chains,
+    causal_edges_from_flows,
+    causal_events_from_trace,
+    chain_of,
+    cross_check,
+    filter_events,
+    format_chain,
+    format_chain_table,
+    parse_where,
+    slowest_chains,
+)
 from repro.obs.counters import CounterRegistry, ResourceSampler, TimeSeries
 from repro.obs.critpath import (
     ATTRIBUTION_CATEGORIES,
@@ -70,6 +99,8 @@ from repro.obs.report import (
     load_trace,
     summarize_trace,
     summarize_trace_file,
+    summary_to_dict,
+    trace_report_json,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -90,14 +121,19 @@ __all__ = [
     "ATTRIBUTION_CATEGORIES",
     "AttributionError",
     "AttributionReport",
+    "BarrierChain",
+    "CausalError",
+    "CausalRecorder",
     "CounterRegistry",
     "ENGINE_PHASES",
     "HOST_SCHEMA_VERSION",
     "HostMetricsRegistry",
     "HostProfiler",
+    "NULL_CAUSAL",
     "NULL_HOST_PROFILER",
     "NULL_TRACER",
     "NULL_TRACK",
+    "NullCausalRecorder",
     "NullHostProfiler",
     "NullTracer",
     "RECOVERY_CATEGORIES",
@@ -113,6 +149,12 @@ __all__ = [
     "analyze_chrome_trace",
     "analyze_events",
     "analyze_tracer",
+    "barrier_chains",
+    "causal_edges_from_flows",
+    "causal_events_from_trace",
+    "chain_of",
+    "cross_check",
+    "filter_events",
     "format_attribution_report",
     "format_iteration_table",
     "TraceError",
@@ -122,14 +164,20 @@ __all__ = [
     "check_host_schema",
     "chrome_trace_dict",
     "dumps_chrome_trace",
+    "format_chain",
+    "format_chain_table",
     "format_host_report",
     "format_trace_report",
     "load_trace",
     "parse_collapsed_stack",
+    "parse_where",
+    "slowest_chains",
     "summarize_trace",
     "summarize_trace_file",
+    "summary_to_dict",
     "to_collapsed_stack",
     "to_prometheus",
+    "trace_report_json",
     "validate_prometheus",
     "write_chrome_trace",
     "write_counters_csv",

@@ -388,6 +388,13 @@ class AttributionReport:
     measured_rho: Optional[float] = None
     analytic_rho: Optional[float] = None
     stragglers: List[StragglerFlag] = field(default_factory=list)
+    #: Per-machine engine-seconds idle at each phase barrier, keyed by
+    #: ``(machine, iteration_label, phase)`` and summed over epochs.
+    #: The causal slowest-chain analyzer cross-checks its chains
+    #: against this decomposition (repro.obs.causal.cross_check).
+    barrier_waits: Dict[Tuple[int, str, str], float] = field(
+        default_factory=dict
+    )
 
     def closure_error(self) -> float:
         """Worst |machine total - duration| over all machines (seconds)."""
@@ -450,6 +457,17 @@ class AttributionReport:
                     "bound": s.bound,
                 }
                 for s in self.stragglers
+            ],
+            "barrier_waits": [
+                {
+                    "machine": machine,
+                    "label": label,
+                    "phase": phase,
+                    "wait": wait,
+                }
+                for (machine, label, phase), wait in sorted(
+                    self.barrier_waits.items()
+                )
             ],
         }
 
@@ -721,6 +739,7 @@ def analyze_events(
             report.stragglers.append(
                 StragglerFlag(machine, label, phase, wait, bound)
             )
+    report.barrier_waits = barrier_waits
 
     return report
 

@@ -18,10 +18,46 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import TID_NIC_RX, TID_NIC_TX, Tracer
 
 #: Seconds → Trace Event Format microseconds.
 _US = 1e6
+
+
+def _flow_events(causal_events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome ``flow`` event pairs (ph ``s``/``f``) for delivered messages.
+
+    One arrow per message: the start binds to the sender's NIC-TX track
+    at dispatch time, the finish to the receiver's NIC-RX track at
+    delivery, matched by ``id``.  Perfetto draws these as arrows across
+    tracks, making the causal DAG visible in the timeline view.
+    """
+    flows: List[Dict[str, Any]] = []
+    for event in causal_events:
+        if event.get("kind") != "msg" or event.get("t1") is None:
+            continue
+        name = event.get("cat") or "msg"
+        common = {"cat": "causal", "name": name, "id": event["id"]}
+        flows.append(
+            {
+                "ph": "s",
+                "pid": event["src"],
+                "tid": TID_NIC_TX,
+                "ts": event["t0"] * _US,
+                **common,
+            }
+        )
+        flows.append(
+            {
+                "ph": "f",
+                "bp": "e",  # bind to the enclosing slice's end
+                "pid": event["dst"],
+                "tid": TID_NIC_RX,
+                "ts": event["t1"] * _US,
+                **common,
+            }
+        )
+    return flows
 
 
 def chrome_trace_dict(
@@ -56,15 +92,24 @@ def chrome_trace_dict(
                 "args": {"name": tracer.threads[(pid, tid)]},
             }
         )
-    for raw in sorted(tracer.events, key=lambda e: e["ts"]):
+    timed: List[Dict[str, Any]] = []
+    for raw in tracer.events:
         event = dict(raw)
         event["ts"] = raw["ts"] * _US
         if "dur" in event:
             event["dur"] = raw["dur"] * _US
         if event["ph"] == "i":
             event["s"] = "t"  # thread-scoped instant
-        events.append(event)
+        timed.append(event)
+    causal_events = list(getattr(tracer.causal, "events", []))
+    timed.extend(_flow_events(causal_events))
+    events.extend(sorted(timed, key=lambda e: e["ts"]))
     document: Dict[str, Any] = {"displayTimeUnit": "ms", "traceEvents": events}
+    if causal_events:
+        # Lossless causal DAG (times in seconds): flow events only carry
+        # the delivered-message edges; analyses (slowest chains, trace
+        # query) need parents, barriers and marks too.
+        document["causalEvents"] = causal_events
     if host_metrics is not None:
         document["hostMetrics"] = host_metrics
     return document

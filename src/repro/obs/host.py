@@ -393,8 +393,13 @@ def parse_collapsed_stack(text: str) -> Dict[Tuple[int, str, int], int]:
     return tree
 
 
-def to_prometheus(doc: dict) -> str:
-    """Prometheus text exposition format (0.0.4)."""
+def to_prometheus(doc: dict, integrity: Optional[Dict[str, int]] = None) -> str:
+    """Prometheus text exposition format (0.0.4).
+
+    ``integrity`` (``JobResult.integrity``) adds the run's
+    integrity/byzantine counters as one labelled family, so fleet
+    dashboards see injected-fault pressure next to host cost.
+    """
     lines: List[str] = []
 
     def family(name: str, kind: str, help_text: str) -> None:
@@ -470,6 +475,18 @@ def to_prometheus(doc: dict) -> str:
     lines.append(
         f"chaos_host_edges_per_sec {doc['totals']['edges_per_sec']:.3f}"
     )
+    if integrity:
+        family(
+            "chaos_integrity_events_total",
+            "counter",
+            "Integrity/byzantine events by kind (injected message faults "
+            "and their transport/storage-level suppression).",
+        )
+        for kind in sorted(integrity):
+            lines.append(
+                f'chaos_integrity_events_total{{kind="{kind}"}} '
+                f"{int(integrity[kind])}"
+            )
     return "\n".join(lines) + "\n"
 
 

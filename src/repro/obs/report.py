@@ -79,6 +79,9 @@ class TraceSummary:
     category_seconds: Dict[str, float] = field(default_factory=dict)
     instants: Dict[str, int] = field(default_factory=dict)
     counters: Dict[str, CounterStats] = field(default_factory=dict)
+    #: Integrity/byzantine counters from the run's ``job.integrity``
+    #: marker (``JobResult.integrity`` written into the trace).
+    integrity: Dict[str, int] = field(default_factory=dict)
     begin_events: int = 0
     end_events: int = 0
     unbalanced_spans: int = 0
@@ -167,6 +170,11 @@ def summarize_trace(trace: dict) -> TraceSummary:
             summary.instants[event["name"]] = (
                 summary.instants.get(event["name"], 0) + 1
             )
+            if event["name"] == "job.integrity":
+                for counter, value in event.get("args", {}).items():
+                    summary.integrity[counter] = (
+                        summary.integrity.get(counter, 0) + int(value)
+                    )
         elif ph == "C":
             stats = summary.counters.setdefault(event["name"], CounterStats())
             value = event["args"]["value"]
@@ -256,6 +264,13 @@ def format_trace_report(summary: TraceSummary, top: int = 12) -> str:
             if seconds > 0:
                 lines.append(f"  {cat:<11s} {seconds:12.6f}s  (overlapping)")
 
+    hits = {k: v for k, v in sorted(summary.integrity.items()) if v}
+    if hits:
+        lines.append("")
+        lines.append("integrity counters (injected faults and defenses):")
+        for counter, value in hits.items():
+            lines.append(f"  {counter:<24s} {value}")
+
     if summary.spans:
         lines.append("")
         lines.append(f"top spans by total time (of {len(summary.spans)}):")
@@ -290,3 +305,154 @@ def format_trace_report(summary: TraceSummary, top: int = 12) -> str:
             f"WARNING: {summary.unbalanced_spans} unbalanced span events"
         )
     return "\n".join(lines)
+
+
+def summary_to_dict(summary: TraceSummary, top: int = 12) -> dict:
+    """The :func:`format_trace_report` tables, machine-readable."""
+    ranked = sorted(
+        summary.spans.items(), key=lambda kv: (-kv[1].total, kv[0])
+    )
+    tracks = []
+    for pid, tid in sorted(set(summary.track_busy) | set(summary.track_bytes)):
+        tracks.append(
+            {
+                "pid": pid,
+                "tid": tid,
+                "process": summary.processes.get(pid, f"pid{pid}"),
+                "thread": summary.thread_name(pid, tid),
+                "busy_seconds": summary.track_busy.get((pid, tid), 0.0),
+                "utilization": summary.utilization(pid, tid),
+                "bytes": summary.track_bytes.get((pid, tid), 0),
+            }
+        )
+    recovery = None
+    recovery_total = sum(
+        summary.category_seconds.get(cat, 0.0) for cat in RECOVERY_CATEGORIES
+    )
+    if recovery_total > 0:
+        wall = sum(
+            summary.category_seconds.get(cat, 0.0)
+            for cat in RECOVERY_WALL_CATEGORIES
+        )
+        recovery = {
+            "useful_seconds": summary.duration - wall,
+            **{
+                f"{cat}_seconds": summary.category_seconds.get(cat, 0.0)
+                for cat in RECOVERY_CATEGORIES
+            },
+        }
+    return {
+        "duration": summary.duration,
+        "total_events": summary.total_events,
+        "processes": {
+            str(pid): name for pid, name in sorted(summary.processes.items())
+        },
+        "tracks": tracks,
+        "category_seconds": dict(sorted(summary.category_seconds.items())),
+        "recovery": recovery,
+        "top_spans": [
+            {
+                "name": name,
+                "count": stats.count,
+                "total_seconds": stats.total,
+                "mean_seconds": stats.mean(),
+            }
+            for name, stats in ranked[:top]
+        ],
+        "span_names": len(summary.spans),
+        "instants": dict(sorted(summary.instants.items())),
+        "counters": {
+            name: {
+                "samples": stats.samples,
+                "mean": stats.mean(),
+                "peak": stats.peak,
+            }
+            for name, stats in sorted(summary.counters.items())
+        },
+        "integrity": dict(sorted(summary.integrity.items())),
+        "unbalanced_spans": summary.unbalanced_spans,
+    }
+
+
+def trace_report_json(trace: dict, top: int = 12) -> dict:
+    """Everything ``trace-report`` prints, as one JSON document.
+
+    Mirrors the text report section-for-section: span/track summary,
+    critpath attribution (None for spanless traces), the causal
+    slowest-chain table plus its critpath cross-check (None for traces
+    without ``causalEvents``), and the host metrics/skew table (None
+    without ``--host-profile``).
+    """
+    from repro.obs import causal as causal_mod
+    from repro.obs.critpath import AttributionError, analyze_chrome_trace
+    from repro.obs.host import SIM_SPAN_FOR_PHASE
+
+    summary = summarize_trace(trace)
+    document: dict = {"summary": summary_to_dict(summary, top=top)}
+
+    try:
+        attribution = analyze_chrome_trace(trace)
+    except AttributionError:
+        attribution = None
+    document["attribution"] = (
+        attribution.to_dict() if attribution is not None else None
+    )
+
+    try:
+        causal_events = causal_mod.causal_events_from_trace(trace)
+    except causal_mod.CausalError:
+        causal_events = None
+    if causal_events:
+        chains = causal_mod.slowest_chains(causal_events, top)
+        document["slowest_chains"] = [chain.to_dict() for chain in chains]
+        document["cross_check"] = (
+            causal_mod.cross_check(causal_events, attribution)
+            if attribution is not None
+            else None
+        )
+    else:
+        document["slowest_chains"] = None
+        document["cross_check"] = None
+
+    host_doc = trace.get("hostMetrics")
+    document["host"] = host_doc
+    skew = None
+    if host_doc is not None:
+        sim_spans = {
+            name: stats.total for name, stats in summary.spans.items()
+        }
+        by_phase = host_doc["totals"]["by_phase"]
+        host_wall_total = sum(
+            agg["wall_seconds"] for agg in by_phase.values()
+        )
+        mapped_sim_total = sum(
+            sim_spans.get(span, 0.0) for span in SIM_SPAN_FOR_PHASE.values()
+        )
+        skew = []
+        for phase in sorted(by_phase):
+            span = SIM_SPAN_FOR_PHASE.get(phase)
+            host_share = (
+                by_phase[phase]["wall_seconds"] / host_wall_total
+                if host_wall_total
+                else 0.0
+            )
+            sim_share = (
+                sim_spans.get(span, 0.0) / mapped_sim_total
+                if span is not None and mapped_sim_total > 0
+                else None
+            )
+            skew.append(
+                {
+                    "phase": phase,
+                    "sim_span": span,
+                    "host_share": host_share,
+                    "sim_share": sim_share,
+                    "skew": (
+                        host_share - sim_share
+                        if sim_share is not None
+                        else None
+                    ),
+                }
+            )
+    document["host_skew"] = skew
+    return document

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.causal import NULL_CAUSAL, CausalRecorder
 from repro.obs.counters import CounterRegistry
 
 #: Thread ids within a machine process (Chrome ``tid``).
@@ -137,6 +138,7 @@ class NullTracer:
 
     enabled = False
     sample_interval: Optional[float] = None
+    causal = NULL_CAUSAL
 
     def thread(self, pid, tid, name=None) -> _NullTrack:
         return NULL_TRACK
@@ -174,6 +176,8 @@ class Tracer:
         #: Raw events, in recording order, timestamps in simulated seconds.
         self.events: List[Dict[str, Any]] = []
         self.registry = CounterRegistry()
+        #: Message-level causal DAG recorder (same clock, same offsets).
+        self.causal = CausalRecorder(self)
         self._clock: Optional[Callable[[], float]] = None
         self._offset = 0.0
         self._end = 0.0
@@ -193,6 +197,7 @@ class Tracer:
         """
         self._offset = self._end
         self._clock = clock
+        self.causal.on_bind()
 
     def now(self) -> float:
         """Current trace time (offset-adjusted simulated seconds)."""

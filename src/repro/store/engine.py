@@ -285,7 +285,11 @@ class StorageEngine:
         size: int,
         payload,
         epoch: int = 0,
+        parent=None,
     ) -> None:
+        # ``parent`` is the request's causal context: replies fire from
+        # device-completion callbacks long after dispatch moved on, so
+        # the causal edge must be threaded explicitly.
         self.network.send(
             src=self.machine,
             dst=requester,
@@ -294,6 +298,7 @@ class StorageEngine:
             size=size,
             payload=payload,
             epoch=epoch,
+            parent=parent,
         )
 
     def _handle_read(self, message) -> None:
@@ -318,6 +323,7 @@ class StorageEngine:
                 EXHAUSTED_BYTES,
                 (request_id, None),
                 epoch=message.epoch,
+                parent=message.ctx,
             )
             return
         self.reads_served += 1
@@ -334,6 +340,7 @@ class StorageEngine:
                 served.size,
                 (request_id, served),
                 epoch=epoch,
+                parent=message.ctx,
             )
         )
 
@@ -386,6 +393,7 @@ class StorageEngine:
                 EXHAUSTED_BYTES,
                 (request_id, None),
                 epoch=message.epoch,
+                parent=message.ctx,
             )
             return
         self.retransmits += 1
@@ -399,6 +407,7 @@ class StorageEngine:
                 chunk.size,
                 (request_id, chunk),
                 epoch=epoch,
+                parent=message.ctx,
             )
         )
 
@@ -425,6 +434,7 @@ class StorageEngine:
             CONTROL_BYTES,
             (request_id, "corrupt"),
             epoch=message.epoch,
+            parent=message.ctx,
         )
         return True
 
@@ -493,6 +503,7 @@ class StorageEngine:
                 CONTROL_BYTES,
                 (request_id, None),
                 epoch=epoch,
+                parent=message.ctx,
             )
 
         done.subscribe(complete)
@@ -526,6 +537,7 @@ class StorageEngine:
                 EXHAUSTED_BYTES,
                 (request_id, None),
                 epoch=message.epoch,
+                parent=message.ctx,
             )
             return
         self.reads_served += 1
@@ -541,6 +553,7 @@ class StorageEngine:
                 served.size,
                 (request_id, served),
                 epoch=epoch,
+                parent=message.ctx,
             )
         )
 
@@ -567,6 +580,7 @@ class StorageEngine:
                 CONTROL_BYTES,
                 (request_id, None),
                 epoch=epoch,
+                parent=message.ctx,
             )
 
         done.subscribe(complete)
@@ -590,6 +604,7 @@ class StorageEngine:
                 CONTROL_BYTES,
                 (request_id, None),
                 epoch=epoch,
+                parent=message.ctx,
             )
         )
 

@@ -1,4 +1,4 @@
-"""Interprocedural rules CHX008-CHX018 over the flow layer.
+"""Interprocedural rules CHX008-CHX023 over the flow layer.
 
 Unlike the local rules (which see one AST at a time), a deep rule sees
 the whole project: the :class:`DeepContext` bundles the project index,
@@ -14,6 +14,10 @@ real-process backend (unpicklable/aliased per-machine state, shared
 module globals, order-sensitive reductions).  CHX018 guards the chaos
 fuzzer's replay contract: every RNG in the fault-injection and fuzzing
 packages must be seeded, or shrunk reproducer plans stop reproducing.
+CHX019–023 stand on the extracted protocol model
+(:mod:`repro.analysis.protocol`): unhandled sends, unfenced receive
+loops, untimed remote waits, lopsided barrier arrivals and message
+kinds outside the modeled vocabulary.
 """
 
 from __future__ import annotations
@@ -59,9 +63,11 @@ DEEP_SIM_PACKAGES: FrozenSet[str] = SIM_PACKAGES | frozenset({"analysis"})
 #:
 #: 1 — CHX008–012 (PR 5).
 #: 2 — CHX013–017: loop dependence + escape analysis.
-#: 3 — CHX018: unseeded RNG in fault-injection/fuzzing code (this
-#:     revision).
-ANALYZER_VERSION = 3
+#: 3 — CHX018: unseeded RNG in fault-injection/fuzzing code.
+#: 4 — CHX019–023: protocol model extraction (unhandled sends,
+#:     unfenced receives, untimed waits, lopsided barrier arrives,
+#:     ghost message kinds) — this revision.
+ANALYZER_VERSION = 4
 
 
 class DeepContext:
@@ -71,9 +77,19 @@ class DeepContext:
         self.index = index
         self.graph = graph if graph is not None else CallGraph.build(index)
         self.taint = TaintAnalysis(self.index, self.graph, DEEP_SIM_PACKAGES)
+        self._protocol = None
 
     def module_is_sim(self, module_name: str) -> bool:
         return any(part in SIM_PACKAGES for part in module_name.split("."))
+
+    def protocol(self):
+        """The extracted protocol model, built lazily and shared by the
+        CHX019–023 rules (and ``check --protocol``)."""
+        if self._protocol is None:
+            from repro.analysis.protocol.extract import extract_model
+
+            self._protocol = extract_model(self.index, self.graph)
+        return self._protocol
 
 
 class DeepRule:
@@ -545,18 +561,14 @@ class BarrierPairingRule(DeepRule):
                 then_sig = self._sig_of_stmts(stmt.body, site_of, frozenset())
                 else_sig = self._sig_of_stmts(stmt.orelse, site_of, frozenset())
                 if (
-                    then_sig != else_sig
-                    and (then_sig or else_sig)
+                    self._diverges(then_sig, else_sig)
                     and not definitely_terminates(stmt.body)
                     and not (stmt.orelse and definitely_terminates(stmt.orelse))
                 ):
                     yield self._finding(
                         func.file,
                         stmt.lineno,
-                        f"branches of this if reach different barrier "
-                        f"sequences in {func.name}: "
-                        f"{_render_sig(then_sig)} vs {_render_sig(else_sig)}; "
-                        f"a machine taking the short path deadlocks the others",
+                        self._describe(func, then_sig, else_sig),
                     )
                 yield from self._check_stmts(func, stmt.body, site_of)
                 yield from self._check_stmts(func, stmt.orelse, site_of)
@@ -571,6 +583,21 @@ class BarrierPairingRule(DeepRule):
                     yield from self._check_stmts(func, handler.body, site_of)
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
                 yield from self._check_stmts(func, stmt.body, site_of)
+
+    # -- divergence policy (overridden by CHX022) -----------------------
+
+    def _diverges(self, then_sig: Tuple, else_sig: Tuple) -> bool:
+        return then_sig != else_sig and bool(then_sig or else_sig)
+
+    def _describe(
+        self, func: FunctionInfo, then_sig: Tuple, else_sig: Tuple
+    ) -> str:
+        return (
+            f"branches of this if reach different barrier "
+            f"sequences in {func.name}: "
+            f"{_render_sig(then_sig)} vs {_render_sig(else_sig)}; "
+            f"a machine taking the short path deadlocks the others"
+        )
 
 
 def _is_barrier_wait(call: ast.Call) -> bool:
@@ -1149,6 +1176,204 @@ class UnseededRandomRule(DeepRule):
         return ".".join([root] + chain[1:])
 
 
+# ---------------------------------------------------------------------------
+# CHX019–023: protocol-model rules (extracted state machines)
+# ---------------------------------------------------------------------------
+
+
+class UnhandledSendRule(DeepRule):
+    """A send whose destination service has no receive loop dispatching
+    that message kind: the message is delivered into a mailbox nobody
+    drains for it, and the sender's reply wait hangs (or the receiver's
+    dispatch raises on the unknown kind).  Only send sites whose service
+    and kind both resolve to literals are judged — an opaque expression
+    is never proof of absence.
+    """
+
+    rule_id = "CHX019"
+    severity = "error"
+    title = "send with no matching receive handler"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        model = ctx.protocol()
+        for op in model.all_sends():
+            if op.service is None or not op.kinds_complete or not op.kinds:
+                continue
+            if not model.handlers_for(op.service):
+                # No receive loop registered for the service at all —
+                # covered per kind below, but name the service once.
+                yield self._finding(
+                    op.file,
+                    op.line,
+                    f"{op.qualname} sends to service {op.service!r} "
+                    f"but no receive loop drains that mailbox",
+                )
+                continue
+            for kind in op.kinds:
+                if not model.handles(op.service, kind):
+                    yield self._finding(
+                        op.file,
+                        op.line,
+                        f"{op.qualname} sends kind {kind!r} to service "
+                        f"{op.service!r} but no receive loop on that "
+                        f"service dispatches it; the message is dropped "
+                        f"on the floor (or kills the dispatcher)",
+                    )
+
+
+class UnfencedReceiveRule(DeepRule):
+    """An epoch-aware role's receive loop without an epoch fence: a
+    straggling message from before a rollback (a stale reply, a zombie
+    peer's steal request) is executed against post-recovery state and
+    silently corrupts it.  Roles that never track a recovery epoch
+    (e.g. the failure detector) are exempt — they have nothing to fence.
+    """
+
+    rule_id = "CHX020"
+    severity = "error"
+    title = "receive loop missing epoch guard"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for loop in ctx.protocol().all_receives():
+            if loop.epoch_aware and not loop.epoch_guard:
+                service = (
+                    f"service {loop.service!r}"
+                    if loop.service is not None
+                    else "its mailbox"
+                )
+                yield self._finding(
+                    loop.file,
+                    loop.line,
+                    f"{loop.qualname} drains {service} without comparing "
+                    f"message.epoch, but {loop.role} tracks a recovery "
+                    f"epoch; a stale-epoch straggler would be executed "
+                    f"against post-rollback state",
+                )
+
+
+class UntimedWaitRule(DeepRule):
+    """A process blocks on a remote delivery (or a reply event armed by
+    a remote request) with no timeout or liveness escape anywhere in the
+    function: if the peer fail-stops, the message is lost and the
+    process hangs forever — under the real-process backend that is a
+    cluster deadlock, not a simulation artifact.
+    """
+
+    rule_id = "CHX021"
+    severity = "warning"
+    title = "blocking wait with no timeout/liveness path"
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        for wait in ctx.protocol().all_waits():
+            if wait.remote and not wait.has_timeout:
+                yield self._finding(
+                    wait.file,
+                    wait.line,
+                    f"{wait.qualname} yields on {wait.target!r} (a remote "
+                    f"delivery) with no any_of+timeout or backoff escape "
+                    f"in the function; a fail-stopped peer hangs this "
+                    f"process forever",
+                )
+
+
+class LopsidedArriveRule(BarrierPairingRule):
+    """One branch of an if reaches a barrier wait and its sibling does
+    not (transitively over the call graph).  This is the coarse, always-
+    fatal subset of CHX010: the machines taking the short path never
+    arrive, so the barrier waits forever for them.  CHX010 flags any
+    sequence mismatch; this rule fires only on presence-vs-absence, the
+    shape the protocol model checker proves deadlocking.
+    """
+
+    rule_id = "CHX022"
+    severity = "error"
+    title = "barrier arrive reachable on one branch but not its sibling"
+
+    @staticmethod
+    def _has_wait(sig: Tuple) -> bool:
+        for part in sig:
+            if part == "wait":
+                return True
+            if isinstance(part, tuple) and LopsidedArriveRule._has_wait(part):
+                return True
+        return False
+
+    def _diverges(self, then_sig: Tuple, else_sig: Tuple) -> bool:
+        return self._has_wait(then_sig) != self._has_wait(else_sig)
+
+    def _describe(
+        self, func: FunctionInfo, then_sig: Tuple, else_sig: Tuple
+    ) -> str:
+        arriving = "first" if self._has_wait(then_sig) else "second"
+        return (
+            f"only the {arriving} branch of this if arrives at a barrier "
+            f"in {func.name} ({_render_sig(then_sig)} vs "
+            f"{_render_sig(else_sig)}); machines taking the other path "
+            f"never arrive and the barrier blocks the cluster"
+        )
+
+
+class GhostKindRule(DeepRule):
+    """A transport :class:`Message` constructed with a kind the
+    extracted protocol model has never heard of: no send site emits it
+    and no receive loop dispatches it, so it is either dead vocabulary
+    or a hand-rolled message that bypasses the modeled protocol (and
+    every invariant the model checker proves about it).
+    """
+
+    rule_id = "CHX023"
+    severity = "warning"
+    title = "message kind constructed but absent from the extracted model"
+
+    #: kind's position among Message's constructor fields
+    #: (src, dst, service, kind, ...).
+    _KIND_POSITION = 3
+
+    def run(self, ctx: DeepContext) -> Iterator[Finding]:
+        model = ctx.protocol()
+        alphabet = model.alphabet()
+        for func in ctx.index.iter_functions():
+            module = ctx.index.modules.get(func.module)
+            if module is None:
+                continue
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_message_construction(ctx, module, node):
+                    continue
+                kind = self._literal_kind(node)
+                if kind is None or kind in alphabet:
+                    continue
+                yield self._finding(
+                    func.file,
+                    node.lineno,
+                    f"{func.qualname} constructs a Message of kind "
+                    f"{kind!r}, which no modeled send or receive loop "
+                    f"mentions; it bypasses the extracted protocol",
+                )
+
+    def _is_message_construction(
+        self, ctx: DeepContext, module: ModuleInfo, call: ast.Call
+    ) -> bool:
+        chain = attr_chain(call.func)
+        if chain is None or chain[-1] != "Message":
+            return False
+        target = ctx.index.resolve_chain_in(module, chain)
+        name = getattr(target, "qualname", "")
+        return name.endswith(".Message") or chain == ["Message"]
+
+    def _literal_kind(self, call: ast.Call) -> Optional[str]:
+        expr: Optional[ast.expr] = None
+        for kw in call.keywords:
+            if kw.arg == "kind":
+                expr = kw.value
+        if expr is None and len(call.args) > self._KIND_POSITION:
+            expr = call.args[self._KIND_POSITION]
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        return None
+
+
 def default_deep_rules() -> List[DeepRule]:
     return [
         InterproceduralTaintRule(),
@@ -1162,6 +1387,11 @@ def default_deep_rules() -> List[DeepRule]:
         UnorderedReductionRule(),
         SharedModuleStateRule(),
         UnseededRandomRule(),
+        UnhandledSendRule(),
+        UnfencedReceiveRule(),
+        UntimedWaitRule(),
+        LopsidedArriveRule(),
+        GhostKindRule(),
     ]
 
 
@@ -1179,16 +1409,21 @@ __all__ = [
     "CrossModuleProcessRule",
     "DeepContext",
     "DeepRule",
+    "GhostKindRule",
     "GrantPairingRule",
     "HotLoopAllocationRule",
     "InterproceduralTaintRule",
     "LoopCarriedDependenceRule",
+    "LopsidedArriveRule",
     "ProcessBoundaryCaptureRule",
     "RaceCandidate",
     "SharedModuleStateRule",
     "StaticRaceCandidateRule",
+    "UnfencedReceiveRule",
+    "UnhandledSendRule",
     "UnorderedReductionRule",
     "UnseededRandomRule",
+    "UntimedWaitRule",
     "collect_race_candidates",
     "default_deep_rules",
 ]

@@ -1,0 +1,442 @@
+"""Explicit-state bounded model checking of the extracted protocol.
+
+The checker instantiates the extracted model for a small cluster (m=2-3
+machines) and exhaustively explores message interleavings under a
+fail-stop network (any in-flight message may be lost).  The system is an
+abstraction of one Chaos phase, with its shape derived from the model,
+not hard-coded:
+
+* the steal stage exists iff ``steal_request``/``steal_reply`` are in
+  the extracted alphabet;
+* steal timeout transitions are enabled iff the extracted steal send
+  sites carry a liveness escape (``any_of`` + ``timeout``);
+* barrier arrive/release transitions exist iff the model has barrier
+  ops;
+* the stale-epoch injection is fenced per the extracted receive loops'
+  epoch guards.
+
+Checked properties (each reported with a counterexample path when
+violated):
+
+``deadlock_freedom``
+    every dead-end state is the all-done state;
+``barrier_consensus``
+    no machine passes the barrier before every machine arrived;
+``steal_termination``
+    the exploration is finite and every maximal path ends all-done;
+``no_lost_wakeup``
+    a machine blocked on a reply always has the reply in flight, the
+    original request in flight, or a timeout transition enabled;
+``epoch_fencing``
+    no stale-epoch message is ever accepted.
+
+``override`` knobs (used by tests to plant violations) deliberately
+weaken the system: ``steal_timeout=False`` removes the timeout escape,
+``skip_arrive=True`` lets a machine slip past the arrive announcement,
+``premature_release=True`` opens the barrier after the first arrival,
+``drop_epoch_guard=True`` unfences every receive loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .model import ProtocolModel
+
+__all__ = ["CheckResult", "PropertyResult", "check_protocol"]
+
+# Machine phases, in protocol order.
+WORK = "work"
+STEAL_WAIT = "steal_wait"
+ARRIVE = "arrive"
+WAITING = "waiting"
+DONE = "done"
+
+#: (kind, src, dst, stale?) — the in-flight message alphabet.
+_Msg = Tuple[str, int, int, bool]
+
+#: (phases, pending peer per machine, attempted-steal bitmaps,
+#:  in-flight multiset, arrived bitmap, stale-accepted flag)
+_State = Tuple[
+    Tuple[str, ...],
+    Tuple[Optional[int], ...],
+    Tuple[FrozenSet[int], ...],
+    Tuple[_Msg, ...],
+    FrozenSet[int],
+    bool,
+]
+
+
+@dataclass
+class PropertyResult:
+    name: str
+    ok: bool
+    detail: str
+    counterexample: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "detail": self.detail,
+            "counterexample": list(self.counterexample),
+        }
+
+
+@dataclass
+class CheckResult:
+    machines: int
+    states: int
+    transitions: int
+    properties: List[PropertyResult]
+    #: Feature flags derived from the model (for the report).
+    features: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.properties)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machines": self.machines,
+            "states": self.states,
+            "transitions": self.transitions,
+            "ok": self.ok,
+            "features": dict(self.features),
+            "properties": [p.to_dict() for p in self.properties],
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"model check: m={self.machines}  states={self.states}  "
+            f"transitions={self.transitions}"
+        ]
+        for name, enabled in sorted(self.features.items()):
+            lines.append(f"  feature {name}: {'on' if enabled else 'off'}")
+        for prop in self.properties:
+            mark = "ok " if prop.ok else "FAIL"
+            lines.append(f"  [{mark}] {prop.name}: {prop.detail}")
+            for step in prop.counterexample:
+                lines.append(f"         {step}")
+        lines.append("verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+class _System:
+    """The m-machine abstraction instantiated from a ProtocolModel."""
+
+    def __init__(self, model: ProtocolModel, machines: int,
+                 override: Optional[Dict[str, object]] = None):
+        override = override or {}
+        alphabet = model.alphabet()
+        self.machines = machines
+        self.steal = {"steal_request", "steal_reply"} <= alphabet
+        # Timeout escape: some steal_request send site has liveness.
+        steal_liveness = any(
+            op.liveness
+            for op in model.all_sends()
+            if "steal_request" in op.kinds
+        )
+        self.steal_timeout = bool(
+            override.get("steal_timeout", steal_liveness)
+        )
+        self.barrier = bool(model.all_barriers())
+        self.skip_arrive = bool(override.get("skip_arrive", False))
+        self.premature_release = bool(
+            override.get("premature_release", False)
+        )
+        # Epoch fencing: per handled kind, is every epoch-aware loop
+        # that dispatches it guarded?
+        self.guarded: Dict[str, bool] = {}
+        for loop in model.all_receives():
+            for kind in (loop.kinds or ("*",)):
+                prior = self.guarded.get(kind, True)
+                guard = loop.epoch_guard or not loop.epoch_aware
+                self.guarded[kind] = prior and guard
+        if override.get("drop_epoch_guard"):
+            self.guarded = {kind: False for kind in self.guarded}
+        # One stale-epoch message to inject, if the protocol has a
+        # steal stage (the compute service is the fenced one).
+        self.stale_kind = "steal_request" if self.steal else None
+
+    # -- state space ------------------------------------------------------
+
+    def initial(self) -> _State:
+        in_flight: Tuple[_Msg, ...] = ()
+        if self.stale_kind is not None and self.machines >= 2:
+            in_flight = ((self.stale_kind, 1, 0, True),)
+        return (
+            tuple(WORK for _ in range(self.machines)),
+            tuple(None for _ in range(self.machines)),
+            tuple(frozenset() for _ in range(self.machines)),
+            in_flight,
+            frozenset(),
+            False,
+        )
+
+    def successors(self, state: _State) -> List[Tuple[str, _State]]:
+        phases, pending, attempted, in_flight, arrived, stale = state
+        out: List[Tuple[str, _State]] = []
+
+        def emit(label: str, **changes) -> None:
+            new = {
+                "phases": phases,
+                "pending": pending,
+                "attempted": attempted,
+                "in_flight": in_flight,
+                "arrived": arrived,
+                "stale": stale,
+            }
+            new.update(changes)
+            out.append((
+                label,
+                (
+                    new["phases"], new["pending"], new["attempted"],
+                    tuple(sorted(new["in_flight"])), new["arrived"],
+                    new["stale"],
+                ),
+            ))
+
+        def with_phase(i: int, phase: str) -> Tuple[str, ...]:
+            return phases[:i] + (phase,) + phases[i + 1:]
+
+        def with_pending(i: int, value: Optional[int]):
+            return pending[:i] + (value,) + pending[i + 1:]
+
+        for i in range(self.machines):
+            phase = phases[i]
+            if phase == WORK:
+                peers = [
+                    j for j in range(self.machines)
+                    if j != i and j not in attempted[i]
+                ] if self.steal else []
+                if peers:
+                    j = min(peers)  # deterministic order bounds the space
+                    emit(
+                        f"m{i}: send steal_request -> m{j}",
+                        phases=with_phase(i, STEAL_WAIT),
+                        pending=with_pending(i, j),
+                        attempted=attempted[:i]
+                        + (attempted[i] | {j},)
+                        + attempted[i + 1:],
+                        in_flight=in_flight
+                        + (("steal_request", i, j, False),),
+                    )
+                else:
+                    target = ARRIVE if self.barrier else DONE
+                    emit(
+                        f"m{i}: work done",
+                        phases=with_phase(i, target),
+                    )
+            elif phase == STEAL_WAIT and self.steal_timeout:
+                emit(
+                    f"m{i}: steal timeout (abandon m{pending[i]})",
+                    phases=with_phase(i, WORK),
+                    pending=with_pending(i, None),
+                )
+            elif phase == ARRIVE:
+                emit(
+                    f"m{i}: barrier arrive",
+                    phases=with_phase(i, WAITING),
+                    arrived=arrived | {i},
+                )
+                if self.skip_arrive:
+                    emit(
+                        f"m{i}: reach barrier WITHOUT arrive",
+                        phases=with_phase(i, WAITING),
+                    )
+
+        # Barrier release: one transition moving every waiting machine.
+        if self.barrier:
+            waiting = [i for i in range(self.machines) if phases[i] == WAITING]
+            quorum = (
+                len(arrived) >= 1
+                if self.premature_release
+                else len(arrived) == self.machines
+            )
+            if waiting and quorum:
+                new_phases = tuple(
+                    DONE if phases[i] == WAITING else phases[i]
+                    for i in range(self.machines)
+                )
+                emit("barrier release", phases=new_phases)
+
+        # Message deliveries and losses.
+        for index, msg in enumerate(in_flight):
+            kind, src, dst, is_stale = msg
+            remaining = in_flight[:index] + in_flight[index + 1:]
+            if is_stale:
+                if self.guarded.get(kind, True):
+                    emit(
+                        f"stale {kind} m{src}->m{dst}: fenced (dropped)",
+                        in_flight=remaining,
+                    )
+                else:
+                    emit(
+                        f"stale {kind} m{src}->m{dst}: ACCEPTED",
+                        in_flight=remaining,
+                        stale=True,
+                    )
+                continue
+            if kind == "steal_request":
+                if phases[dst] != DONE:
+                    emit(
+                        f"deliver steal_request m{src}->m{dst}; reply",
+                        in_flight=remaining
+                        + (("steal_reply", dst, src, False),),
+                    )
+            elif kind == "steal_reply":
+                if phases[dst] == STEAL_WAIT and pending[dst] == src:
+                    emit(
+                        f"deliver steal_reply m{src}->m{dst}",
+                        phases=with_phase(dst, WORK),
+                        pending=with_pending(dst, None),
+                        in_flight=remaining,
+                    )
+                else:
+                    emit(
+                        f"late steal_reply m{src}->m{dst}: dropped",
+                        in_flight=remaining,
+                    )
+            # Fail-stop network: any non-stale message may be lost.
+            emit(f"lose {kind} m{src}->m{dst}", in_flight=remaining)
+
+        return out
+
+
+def _trace_to(
+    state: _State,
+    parents: Dict[_State, Tuple[Optional[_State], str]],
+) -> List[str]:
+    steps: List[str] = []
+    cursor: Optional[_State] = state
+    while cursor is not None:
+        parent, label = parents[cursor]
+        if label:
+            steps.append(label)
+        cursor = parent
+    steps.reverse()
+    return steps
+
+
+def check_protocol(
+    model: ProtocolModel,
+    machines: int = 2,
+    override: Optional[Dict[str, object]] = None,
+    max_states: int = 200_000,
+) -> CheckResult:
+    """Exhaustively explore the m-machine system and check properties."""
+    system = _System(model, machines, override)
+    initial = system.initial()
+    parents: Dict[_State, Tuple[Optional[_State], str]] = {
+        initial: (None, "")
+    }
+    queue = deque([initial])
+    transitions = 0
+    dead_ends: List[_State] = []
+    lost_wakeups: List[_State] = []
+    consensus_violations: List[_State] = []
+    stale_accepts: List[_State] = []
+
+    def all_done(state: _State) -> bool:
+        return all(phase == DONE for phase in state[0])
+
+    while queue:
+        if len(parents) > max_states:
+            raise RuntimeError(
+                f"state space exceeded {max_states} states; tighten the "
+                f"model or lower the machine count"
+            )
+        state = queue.popleft()
+        phases, pending, _attempted, in_flight, arrived, stale = state
+        if stale:
+            stale_accepts.append(state)
+        if any(phase == DONE for phase in phases) and len(arrived) < machines:
+            consensus_violations.append(state)
+        for i in range(machines):
+            if phases[i] != STEAL_WAIT:
+                continue
+            wakeup_in_flight = any(
+                not is_stale
+                and kind in ("steal_request", "steal_reply")
+                and (
+                    (kind == "steal_request" and src == i)
+                    or (kind == "steal_reply" and dst == i)
+                )
+                for kind, src, dst, is_stale in in_flight
+            )
+            if not wakeup_in_flight and not system.steal_timeout:
+                lost_wakeups.append(state)
+        successors = system.successors(state)
+        if not successors:
+            dead_ends.append(state)
+            continue
+        for label, succ in successors:
+            transitions += 1
+            if succ not in parents:
+                parents[succ] = (state, label)
+                queue.append(succ)
+
+    deadlocks = [s for s in dead_ends if not all_done(s)]
+    reached_done = any(all_done(s) for s in parents)
+
+    def result(name: str, bad: List[_State], detail_ok: str,
+               detail_bad: str) -> PropertyResult:
+        if not bad:
+            return PropertyResult(name, True, detail_ok)
+        return PropertyResult(
+            name, False, detail_bad, _trace_to(bad[0], parents)
+        )
+
+    properties = [
+        result(
+            "deadlock_freedom",
+            deadlocks,
+            f"every dead-end state is all-done "
+            f"({len(dead_ends)} terminal state(s))",
+            f"{len(deadlocks)} deadlocked state(s); first counterexample:",
+        ),
+        result(
+            "barrier_consensus",
+            consensus_violations,
+            "no machine passed the barrier before all arrived",
+            f"{len(consensus_violations)} state(s) release before "
+            f"full arrival; first counterexample:",
+        ),
+        PropertyResult(
+            "steal_termination",
+            reached_done and not deadlocks,
+            "exploration finite and the all-done state is reachable"
+            if reached_done and not deadlocks
+            else "no terminating execution found",
+        ),
+        result(
+            "no_lost_wakeup",
+            lost_wakeups,
+            "blocked machines always hold a wakeup in flight or a "
+            "timeout transition",
+            f"{len(lost_wakeups)} state(s) block forever after message "
+            f"loss; first counterexample:",
+        ),
+        result(
+            "epoch_fencing",
+            stale_accepts,
+            "every stale-epoch delivery is fenced",
+            f"{len(stale_accepts)} state(s) accept a stale-epoch "
+            f"message; first counterexample:",
+        ),
+    ]
+    return CheckResult(
+        machines=machines,
+        states=len(parents),
+        transitions=transitions,
+        properties=properties,
+        features={
+            "steal_stage": system.steal,
+            "steal_timeout": system.steal_timeout,
+            "barrier": system.barrier,
+            "stale_injection": system.stale_kind is not None,
+        },
+    )

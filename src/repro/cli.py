@@ -258,6 +258,28 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--format", choices=("text", "json"),
                        default="text", dest="fmt",
                        help="output format")
+    conform = trace_commands.add_parser(
+        "conform", help="replay a causal trace against the extracted "
+                        "protocol model (unmodeled transitions, barrier "
+                        "consensus, stuck transitions)"
+    )
+    conform.add_argument("path", help="trace file written by run --trace "
+                                      "(or a fuzz deadlock capture)")
+    conform.add_argument("--src", action="append", metavar="PATH",
+                         dest="src", default=None,
+                         help="source tree(s) to extract the model from "
+                              "(default: src)")
+    conform.add_argument("--cache-dir", metavar="DIR", default=None,
+                         dest="cache_dir",
+                         help="reuse the deep lint's pickled project "
+                              "index cache (e.g. .chaos-cache)")
+    conform.add_argument("--model-json", metavar="FILE", default=None,
+                         help="also write the extracted model as JSON")
+    conform.add_argument("--report-json", metavar="FILE", default=None,
+                         help="also write the conformance report as JSON")
+    conform.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="fmt",
+                         help="output format")
 
     bench = commands.add_parser(
         "bench", help="benchmark snapshots and the perf regression gate"
@@ -326,6 +348,22 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--host-json", metavar="FILE", default=None,
                        help="with --kernel-report: a host metrics JSON "
                             "written by run --host-profile --host-json")
+    check.add_argument("--protocol", action="store_true",
+                       help="extract the protocol state machines and "
+                            "model-check small clusters instead of "
+                            "linting (deadlock freedom, barrier "
+                            "consensus, steal termination, lost "
+                            "wakeups, epoch fencing)")
+    check.add_argument("--machines", type=int, default=2,
+                       help="with --protocol: cluster size to model-"
+                            "check (default 2; 3 is exhaustive but "
+                            "slower)")
+    check.add_argument("--model-dot", metavar="FILE", default=None,
+                       help="with --protocol: write the extracted "
+                            "role/message graph as Graphviz DOT")
+    check.add_argument("--model-json", metavar="FILE", default=None,
+                       help="with --protocol: write the extracted "
+                            "model as JSON")
 
     fuzz = commands.add_parser(
         "fuzz", help="chaos-schedule fuzzer: random fault plans vs the "
@@ -778,6 +816,52 @@ def _command_trace_report(args) -> int:
 
 
 def _command_trace(args) -> int:
+    if args.trace_command == "conform":
+        return _command_trace_conform(args)
+    return _command_trace_query(args)
+
+
+def _command_trace_conform(args) -> int:
+    import json as json_module
+
+    from repro.analysis.flow import DeepEngine
+    from repro.analysis.protocol import conform, extract_model
+    from repro.obs import causal as causal_mod
+    from repro.obs.report import load_trace
+
+    try:
+        trace = load_trace(args.path)
+        events = causal_mod.causal_events_from_trace(trace)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read trace {args.path!r}: {error}")
+    except causal_mod.CausalError as error:
+        raise SystemExit(f"trace conform: {error}")
+
+    sources = args.src if args.src else ["src"]
+    # Shares the deep lint's pickled project index (.chaos-cache).
+    index, _ = DeepEngine().build_index(
+        sources, cache_dir=args.cache_dir
+    )
+    model = extract_model(index)
+    report = conform(events, model)
+
+    if args.model_json:
+        with open(args.model_json, "w", encoding="utf-8") as handle:
+            json_module.dump(model.to_dict(), handle, indent=2,
+                             sort_keys=True)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2,
+                             sort_keys=True)
+    if args.fmt == "json":
+        print(json_module.dumps(report.to_dict(), indent=2,
+                                sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
+def _command_trace_query(args) -> int:
     import json as json_module
 
     from repro.obs import causal as causal_mod
@@ -992,6 +1076,57 @@ def _command_check_kernel_report(args) -> int:
     return 0
 
 
+def _command_check_protocol(args) -> int:
+    import json as json_module
+
+    from repro.analysis.flow import DeepEngine
+    from repro.analysis.protocol import check_protocol, extract_model
+
+    if not 1 <= args.machines <= 4:
+        print("--machines must be in [1, 4] (the state space is "
+              "exponential)", file=sys.stderr)
+        return 2
+    # Shares the deep lint's pickled project index (.chaos-cache).
+    index, _ = DeepEngine().build_index(
+        args.paths, cache_dir=args.cache_dir
+    )
+    model = extract_model(index)
+    result = check_protocol(model, machines=args.machines)
+
+    if args.model_dot:
+        with open(args.model_dot, "w", encoding="utf-8") as handle:
+            handle.write(model.to_dot())
+    if args.model_json:
+        with open(args.model_json, "w", encoding="utf-8") as handle:
+            json_module.dump(model.to_dict(), handle, indent=2,
+                             sort_keys=True)
+    if args.fmt == "json":
+        print(json_module.dumps(
+            {"model": model.to_dict(), "check": result.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+        return 0 if result.ok else 1
+    stats = model.stats()
+    print(
+        f"protocol model: {stats['roles']} role(s), {stats['sends']} "
+        f"send site(s), {stats['receives']} receive loop(s), "
+        f"{stats['barriers']} barrier op(s), {stats['kinds']} message "
+        f"kind(s)"
+    )
+    for name in sorted(model.roles):
+        role = model.roles[name]
+        if not (role.sends or role.receives or role.barriers):
+            continue
+        services = ",".join(role.services) or "-"
+        print(
+            f"  role {name} [{services}]: {len(role.sends)} send(s), "
+            f"{len(role.receives)} receive loop(s), "
+            f"{len(role.barriers)} barrier op(s)"
+        )
+    print(result.format_text())
+    return 0 if result.ok else 1
+
+
 def _command_check(args) -> int:
     import json as json_module
     import time
@@ -1005,6 +1140,8 @@ def _command_check(args) -> int:
     )
     from repro.analysis.flow import DeepEngine, default_deep_rules
 
+    if args.protocol:
+        return _command_check_protocol(args)
     if args.kernel_report:
         return _command_check_kernel_report(args)
     if args.host_json:
@@ -1162,6 +1299,7 @@ def _command_fuzz(args) -> int:
     import os
 
     from repro.faults.fuzz import (
+        OUTCOME_DEADLOCK,
         VIOLATION_OUTCOMES,
         ChaosFuzzer,
         write_reproducer,
@@ -1228,6 +1366,15 @@ def _command_fuzz(args) -> int:
             )
             write_reproducer(path, violation, args.seed, config)
             print(f"reproducer -> {path}")
+            if OUTCOME_DEADLOCK in (
+                violation.episode.outcome, violation.shrunk_outcome
+            ):
+                # The causal trace of the wedged run, written next to
+                # the reproducer: `repro trace conform <trace>` names
+                # the stuck transition.
+                trace_path = path[: -len(".faults")] + ".trace.json"
+                fuzzer.capture_trace(violation.shrunk, trace_path)
+                print(f"deadlock causal trace -> {trace_path}")
     if args.json:
         with open(args.json, "w") as handle:
             json_module.dump(

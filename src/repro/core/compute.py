@@ -1296,7 +1296,7 @@ class ComputationEngine:
         track = self.track
         # preprocess is epoch-uniform: build_epoch sets it identically on
         # every engine, so all machines take the same branch together.
-        if self.preprocess:  # chaos: ignore[CHX010]
+        if self.preprocess:  # chaos: ignore[CHX010,CHX022]
             track.begin("preprocess")
             yield from self._preprocess()
             track.end()

@@ -291,6 +291,44 @@ class ChaosFuzzer:
             result.runtime * self.deadline_factor, result.runtime + 1.0
         )
 
+    def capture_trace(self, plan: Optional[FaultPlan], path: str) -> str:
+        """Re-run ``plan`` with causal tracing on and write the Chrome
+        trace to ``path`` — even when the run deadlocks or crashes.
+
+        The partial causal DAG of a wedged run is the point: ``repro
+        trace conform`` replays it against the extracted protocol model
+        and names the stuck transition (the sent-but-never-delivered
+        message or the barrier round still waiting for arrivals).
+        Returns the traced run's outcome string.
+        """
+        from repro.core.runtime import ChaosCluster
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import Tracer
+
+        self._ensure_baseline()
+        tracer = Tracer(sample_interval=None)
+        cluster = ChaosCluster(self.config, tracer=tracer)
+        outcome = OUTCOME_OK
+        try:
+            cluster.run(
+                self.algorithm_factory(),
+                self.edges,
+                fault_plan=plan,
+                deadline_seconds=self._deadline if plan is not None else None,
+            )
+        except DeadlineExceeded:
+            outcome = OUTCOME_DEADLOCK
+        except UnrecoverableJobError:
+            outcome = OUTCOME_DIAGNOSED
+        except SimulationError as error:
+            outcome = (
+                OUTCOME_DEADLOCK
+                if "deadlock" in str(error)
+                else OUTCOME_CRASH
+            )
+        write_chrome_trace(tracer, path)
+        return outcome
+
     def classify(self, plan: FaultPlan) -> Tuple[str, str, int]:
         """Run one plan and classify: (outcome, detail, recoveries)."""
         self._ensure_baseline()

@@ -26,6 +26,18 @@ __all__ = [
     "retry_rng_seed",
 ]
 
+#: Protocol transition annotations consumed by the state-machine
+#: extractor (:mod:`repro.analysis.protocol.extract`).  Labels starting
+#: with ``timeout`` mark these as liveness escapes: a blocking wait in a
+#: function that draws its schedule from one of them is *not* an
+#: untimed wait (rule CHX021), because the enclosing retry loop always
+#: wakes up again.
+PROTOCOL_TRANSITIONS = {
+    "jittered_delay": "timeout.backoff",
+    "backoff_delays": "timeout.backoff",
+    "delay": "timeout.backoff",
+}
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

@@ -54,9 +54,12 @@ __all__ = [
     "format_chain",
     "format_chain_table",
     "format_event",
+    "message_kind_counts",
     "parse_duration",
     "parse_where",
     "slowest_chains",
+    "undelivered_messages",
+    "unreleased_barriers",
 ]
 
 
@@ -338,6 +341,61 @@ def causal_events_from_trace(trace: dict) -> List[Dict[str, Any]]:
             "causal-tracing build"
         )
     return events
+
+
+def message_kind_counts(events: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Observed message kinds -> send count (``cat`` of ``msg`` events)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "msg":
+            counts[event["cat"]] = counts.get(event["cat"], 0) + 1
+    return counts
+
+
+def undelivered_messages(
+    events: Iterable[Dict[str, Any]],
+) -> List[Tuple[str, int, int, int]]:
+    """Messages sent but never delivered: ``(kind, src, dst, count)``.
+
+    An undelivered message in a *complete* trace is normal fail-stop
+    fallout (a send to a crashed machine); in a deadlock capture it is
+    the transition the cluster hung on.
+    """
+    counts: Dict[Tuple[str, int, int], int] = {}
+    for event in events:
+        if event.get("kind") == "msg" and event.get("t1") is None:
+            key = (event["cat"], event.get("src", -1), event.get("dst", -1))
+            counts[key] = counts.get(key, 0) + 1
+    return [
+        (kind, src, dst, count)
+        for (kind, src, dst), count in sorted(counts.items())
+    ]
+
+
+def unreleased_barriers(
+    events: Iterable[Dict[str, Any]],
+) -> List[Tuple[str, List[int]]]:
+    """Barrier rounds with arrivals but no release, with their waiters.
+
+    Keyed by ``(trace, barrier)`` internally so re-run epochs of the
+    same label stay distinct; returns ``(barrier_key, machines)``.
+    """
+    arrivals: Dict[Tuple[Any, str], List[int]] = {}
+    released: set = set()
+    for event in events:
+        key = event.get("barrier")
+        if key is None:
+            continue
+        bucket = (event.get("trace"), key)
+        if event.get("kind") == "arrive":
+            arrivals.setdefault(bucket, []).append(event.get("machine", -1))
+        elif event.get("kind") == "release":
+            released.add(bucket)
+    return [
+        (bucket[1], sorted(machines))
+        for bucket, machines in sorted(arrivals.items(), key=str)
+        if bucket not in released
+    ]
 
 
 def causal_edges_from_flows(trace: dict) -> List[Dict[str, Any]]:

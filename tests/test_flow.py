@@ -801,6 +801,11 @@ class TestDeepEngine:
             "CHX016",
             "CHX017",
             "CHX018",
+            "CHX019",
+            "CHX020",
+            "CHX021",
+            "CHX022",
+            "CHX023",
         ]
         assert DeepEngine().rule_ids() == sorted(DEEP_RULE_TABLE)
 
